@@ -1,0 +1,222 @@
+// Shared infrastructure for the per-table/figure benchmark binaries.
+//
+// Every binary reproduces one table or figure of the paper (see DESIGN.md
+// section 5). The machines differ (the paper used 48 cores + 3 TB of
+// Optane; this harness runs on whatever is available against the emulated
+// NVRAM), so the binaries report *shape*: who wins, by what factor, where
+// crossovers are - not absolute seconds.
+//
+// Scaling: graphs default to a few hundred thousand edges so the whole
+// bench suite finishes in minutes; set SAGE_BENCH_LOGN / SAGE_BENCH_EDGES
+// to scale up.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "baselines/gbbs_algorithms.h"
+#include "core/sage.h"
+
+namespace sage::bench {
+
+/// Benchmark graph scale from the environment.
+inline int BenchLogN() {
+  if (const char* env = std::getenv("SAGE_BENCH_LOGN")) {
+    int v = std::atoi(env);
+    if (v >= 8 && v <= 26) return v;
+  }
+  return 15;
+}
+
+inline uint64_t BenchEdges() {
+  if (const char* env = std::getenv("SAGE_BENCH_EDGES")) {
+    long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return 400000;
+}
+
+/// The benchmark input: an RMAT (power-law, web-like) graph standing in for
+/// the paper's Hyperlink/ClueWeb inputs, plus its weighted twin.
+struct BenchInput {
+  Graph graph;
+  Graph weighted;
+};
+
+inline BenchInput MakeBenchInput(uint64_t seed = 1) {
+  Graph g = RmatGraph(BenchLogN(), BenchEdges(), seed);
+  Graph gw = AddRandomWeights(g, seed + 1);
+  return BenchInput{std::move(g), std::move(gw)};
+}
+
+/// A system configuration of Figures 1 and 7.
+struct SystemConfig {
+  std::string name;
+  nvram::AllocPolicy policy = nvram::AllocPolicy::kGraphNvram;
+  SparseVariant sparse = SparseVariant::kChunked;
+  /// Use the GBBS mutating baselines for the filter-based problems.
+  bool mutating = false;
+};
+
+inline SystemConfig SageNvram() {
+  return {"Sage-NVRAM", nvram::AllocPolicy::kGraphNvram,
+          SparseVariant::kChunked, false};
+}
+inline SystemConfig SageDram() {
+  return {"Sage-DRAM", nvram::AllocPolicy::kAllDram, SparseVariant::kChunked,
+          false};
+}
+inline SystemConfig GbbsDram() {
+  return {"GBBS-DRAM", nvram::AllocPolicy::kAllDram, SparseVariant::kBlocked,
+          true};
+}
+inline SystemConfig GbbsVmmalloc() {
+  return {"GBBS-NVRAM(libvmmalloc)", nvram::AllocPolicy::kAllNvram,
+          SparseVariant::kBlocked, true};
+}
+inline SystemConfig GbbsMemMode() {
+  return {"GBBS-MemMode", nvram::AllocPolicy::kMemoryMode,
+          SparseVariant::kBlocked, true};
+}
+inline SystemConfig GaloisLike() {
+  // Galois's NVRAM runs [43] use Memory Mode without GBBS's blocked
+  // traversal or compression optimizations: model with the plain Ligra
+  // sparse traversal under Memory Mode.
+  return {"Galois-like", nvram::AllocPolicy::kMemoryMode,
+          SparseVariant::kSparse, true};
+}
+
+/// One problem's measurement under one configuration.
+struct Measurement {
+  std::string problem;
+  double wall_seconds = 0;   // host wall clock (noisy at bench scale)
+  double device_seconds = 0; // deterministic emulated device time
+  double model_seconds = 0;  // wall + emulated extra NVRAM latency
+  nvram::CostTotals cost;
+};
+
+/// Roofline combination of compute and device: a run takes at least its
+/// host wall time (compute) and at least the emulated device time of its
+/// memory traffic; hardware overlaps the two, so the model takes the max.
+/// All-DRAM runs are compute-bound (model == wall); write-heavy NVRAM
+/// configurations become device-bound and pay omega.
+inline double ModelSeconds(double wall, const nvram::CostTotals& t) {
+  auto& cm = nvram::CostModel::Get();
+  double device = cm.EmulatedNanos(t, num_workers()) / 1e9;
+  return wall > device ? wall : device;
+}
+
+/// Runs `fn` under `config`, measuring wall time and cost-model deltas.
+template <typename Fn>
+Measurement Measure(const std::string& problem, const SystemConfig& config,
+                    const Fn& fn) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(config.policy);
+  fn();  // warm run: pools, page faults, branch predictors
+  // Two timed runs, min wall: host wall clock at bench scale is noisy and
+  // the roofline model needs the compute floor, not the jitter.
+  double wall = 1e300;
+  nvram::CostTotals totals;
+  for (int rep = 0; rep < 2; ++rep) {
+    cm.ResetCounters();
+    Timer timer;
+    fn();
+    wall = std::min(wall, timer.Seconds());
+    totals = cm.Totals();
+  }
+  Measurement m;
+  m.problem = problem;
+  m.wall_seconds = wall;
+  m.cost = totals;
+  m.device_seconds = cm.EmulatedNanos(m.cost, num_workers()) / 1e9;
+  m.model_seconds = ModelSeconds(m.wall_seconds, m.cost);
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  return m;
+}
+
+/// Runs all 18 problems (19 rows: PageRank-Iter and PageRank, as in
+/// Figure 1) under a configuration.
+inline std::vector<Measurement> RunAllProblems(const BenchInput& in,
+                                               const SystemConfig& config) {
+  const Graph& g = in.graph;
+  const Graph& gw = in.weighted;
+  EdgeMapOptions opts;
+  opts.sparse_variant = config.sparse;
+  ConnectivityOptions copts;
+  copts.edge_map = opts;
+  std::vector<Measurement> out;
+  auto add = [&](const std::string& name, auto fn) {
+    out.push_back(Measure(name, config, fn));
+  };
+  add("BFS", [&] { (void)Bfs(g, 0, opts); });
+  add("wBFS", [&] { (void)WeightedBfs(gw, 0, opts); });
+  add("Bellman-Ford", [&] { (void)BellmanFord(gw, 0, opts); });
+  add("Widest-Path", [&] { (void)WidestPathBucketed(gw, 0, opts); });
+  add("Betweenness", [&] { (void)Betweenness(g, 0, opts); });
+  add("O(k)-Spanner", [&] {
+    SpannerOptions sopts;
+    sopts.edge_map = opts;
+    (void)Spanner(g, sopts);
+  });
+  add("LDD", [&] { (void)LowDiameterDecomposition(g, 0.2, 1, opts); });
+  add("Connectivity", [&] { (void)Connectivity(g, copts); });
+  add("SpanningForest", [&] { (void)SpanningForest(g, copts); });
+  add("Biconnectivity", [&] { (void)Biconnectivity(g, copts); });
+  add("MIS", [&] { (void)MaximalIndependentSet(g, 1); });
+  if (config.mutating) {
+    add("Maximal-Matching", [&] { (void)baselines::GbbsMaximalMatching(g); });
+  } else {
+    add("Maximal-Matching", [&] { (void)MaximalMatching(g, 1); });
+  }
+  add("Graph-Coloring", [&] { (void)GraphColoring(g, 1); });
+  add("Apx-Set-Cover", [&] { (void)ApproximateSetCover(g); });
+  add("k-Core", [&] { (void)KCore(g); });
+  add("Apx-Dens-Subgraph", [&] { (void)ApproxDensestSubgraph(g); });
+  if (config.mutating) {
+    add("Triangle-Count", [&] { (void)baselines::GbbsTriangleCount(g); });
+  } else {
+    add("Triangle-Count", [&] { (void)TriangleCount(g); });
+  }
+  add("PageRank-Iter", [&] { (void)PageRankIteration(g); });
+  add("PageRank", [&] { (void)PageRank(g, 1e-6, 30); });
+  return out;
+}
+
+/// Prints a comparison table: problems x systems, with the slowdown
+/// relative to the fastest system per problem (the format of Figures 1
+/// and 7). Ranked by the roofline model time (max of compute wall time
+/// and emulated device time), which is what the paper's NVRAM wall-clock
+/// comparisons measure.
+inline void PrintComparison(
+    const std::vector<std::vector<Measurement>>& systems,
+    const std::vector<std::string>& names) {
+  std::printf("%-18s", "problem");
+  for (const auto& n : names) std::printf(" | %22s", n.c_str());
+  std::printf("\n");
+  size_t rows = systems.empty() ? 0 : systems[0].size();
+  std::vector<double> avg_slowdown(systems.size(), 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    double best = 1e300;
+    for (const auto& sys : systems) {
+      best = std::min(best, sys[r].model_seconds);
+    }
+    std::printf("%-18s", systems[0][r].problem.c_str());
+    for (size_t s = 0; s < systems.size(); ++s) {
+      double slow = systems[s][r].model_seconds / best;
+      avg_slowdown[s] += slow;
+      std::printf(" | %9.4fs (%6.2fx)", systems[s][r].model_seconds, slow);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", "avg-slowdown");
+  for (size_t s = 0; s < systems.size(); ++s) {
+    std::printf(" | %19.2fx ", avg_slowdown[s] / rows);
+  }
+  std::printf("\n");
+}
+
+}  // namespace sage::bench

@@ -1,0 +1,42 @@
+// Figure 2: number of vertices vs. average degree (m/n) across a corpus of
+// graphs; the paper observes that over 90% of large real graphs have
+// average degree >= 10, motivating the O(n)-DRAM / O(m)-NVRAM split.
+// The corpus here is a generated sweep of social-, web-, and citation-like
+// RMAT graphs across scales.
+#include "bench_common.h"
+
+using namespace sage;
+
+int main() {
+  struct Entry {
+    const char* type;
+    int log_n;
+    uint64_t mult;  // edges = mult * n
+  };
+  // Degree multipliers drawn from the same ranges as SNAP/LAW graphs.
+  std::vector<Entry> corpus = {
+      {"social", 12, 18}, {"social", 13, 40}, {"social", 14, 76},
+      {"social", 15, 29}, {"social", 13, 57}, {"social", 14, 33},
+      {"web", 13, 39},    {"web", 14, 76},    {"web", 15, 72},
+      {"web", 16, 63},    {"web", 14, 41},    {"web", 15, 36},
+      {"citation", 12, 12}, {"citation", 13, 8},  {"citation", 14, 16},
+      {"citation", 13, 22}, {"citation", 12, 6},  {"citation", 14, 11},
+  };
+  std::printf("== Figure 2: n vs m/n over the corpus ==\n");
+  std::printf("%-10s %10s %12s %8s\n", "type", "n", "m", "m/n");
+  size_t at_least_10 = 0;
+  uint64_t seed = 1;
+  for (const auto& e : corpus) {
+    uint64_t n = uint64_t{1} << e.log_n;
+    Graph g = RmatGraph(e.log_n, e.mult * n, seed++);
+    double ratio = g.avg_degree();
+    at_least_10 += ratio >= 10.0;
+    std::printf("%-10s %10llu %12llu %8.1f\n", e.type,
+                static_cast<unsigned long long>(g.num_vertices()),
+                static_cast<unsigned long long>(g.num_edges()), ratio);
+  }
+  double frac = 100.0 * at_least_10 / corpus.size();
+  std::printf("\nfraction with m/n >= 10: %.0f%%  (paper: >90%% of 42 "
+              "SNAP/LAW graphs with n > 1M)\n", frac);
+  return 0;
+}

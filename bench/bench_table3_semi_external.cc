@@ -1,0 +1,56 @@
+// Table 3: Sage vs semi-external-memory engines. FlashGraph / Mosaic /
+// GridGraph are closed setups tied to SSD arrays; the comparison here runs
+// a faithful GridGraph-like 2-D streaming engine (vertex-centric, whole
+// blocks streamed from the slow tier each superstep) against Sage on the
+// same emulated device, for the problems Table 3 reports.
+#include <functional>
+
+#include "baselines/grid_engine.h"
+#include "bench_common.h"
+
+using namespace sage;
+using namespace sage::bench;
+
+int main() {
+  auto in = MakeBenchInput();
+  const Graph& g = in.graph;
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+
+  baselines::GridEngine grid(g, 16);
+  std::vector<uint32_t> deg(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    deg[v] = g.degree_uncharged(v);
+  }
+
+  struct Row {
+    const char* problem;
+    std::function<void()> sage_run;
+    std::function<void()> grid_run;
+  };
+  std::vector<double> ranks(g.num_vertices(),
+                            1.0 / std::max<vertex_id>(g.num_vertices(), 1));
+  std::vector<Row> rows = {
+      {"BFS", [&] { (void)Bfs(g, 0); }, [&] { (void)grid.Bfs(0); }},
+      {"Connectivity", [&] { (void)Connectivity(g); },
+       [&] { (void)grid.Connectivity(); }},
+      {"PageRank(1 iter)", [&] { (void)PageRankIteration(g); },
+       [&] { (void)grid.PageRankIteration(ranks, deg); }},
+  };
+
+  std::printf("== Table 3: Sage vs GridGraph-like semi-external engine "
+              "(model seconds) ==\n\n");
+  std::printf("%-18s %14s %14s %10s\n", "problem", "Sage", "GridEngine",
+              "speedup");
+  for (auto& row : rows) {
+    auto sage_m = Measure(row.problem, SageNvram(), row.sage_run);
+    auto grid_m = Measure(row.problem, SageNvram(), row.grid_run);
+    std::printf("%-18s %13.4fs %13.4fs %9.1fx\n", row.problem,
+                sage_m.device_seconds, grid_m.device_seconds,
+                grid_m.device_seconds / sage_m.device_seconds);
+  }
+  std::printf("\npaper: Sage 9.3x faster than FlashGraph, 12x than Mosaic, "
+              "and up to ~15690x (BFS) / 359x (CC) than GridGraph on "
+              "Twitter-scale inputs.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 5 (and Appendix D.2): intermediate DRAM of the three sparse
+// traversal engines during BFS. edgeMapSparse and edgeMapBlocked allocate
+// Theta(sum deg(frontier)) words; edgeMapChunked stays O(n). The paper
+// also shows a sparse-only BFS that OOMs under edgeMapSparse/Blocked but
+// completes under edgeMapChunked; reproduced here as the peak-memory gap
+// of a sparse-only full-frontier step.
+#include "bench_common.h"
+
+using namespace sage;
+using namespace sage::bench;
+
+namespace {
+
+struct Run {
+  double seconds;
+  uint64_t peak_bytes;
+};
+
+Run BfsWithVariant(const Graph& g, SparseVariant variant,
+                   TraversalMode mode) {
+  ChunkPool::Get(0).Drain();
+  auto& mt = nvram::MemoryTracker::Get();
+  mt.ResetPeak();
+  uint64_t before = mt.CurrentBytes();
+  EdgeMapOptions opts;
+  opts.sparse_variant = variant;
+  opts.mode = mode;
+  Timer t;
+  (void)Bfs(g, 0, opts);
+  return {t.Seconds(), mt.PeakBytes() - before};
+}
+
+}  // namespace
+
+int main() {
+  auto in = MakeBenchInput();
+  const Graph& g = in.graph;
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+
+  std::printf("== Table 5: BFS traversal engine vs intermediate DRAM "
+              "(n=%u, m=%llu) ==\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("%-18s %16s %10s\n", "engine", "peak DRAM", "time");
+  struct Case {
+    const char* name;
+    SparseVariant variant;
+  };
+  for (auto c : {Case{"edgeMapSparse", SparseVariant::kSparse},
+                 Case{"edgeMapBlocked", SparseVariant::kBlocked},
+                 Case{"edgeMapChunked", SparseVariant::kChunked}}) {
+    auto r = BfsWithVariant(g, c.variant, TraversalMode::kAuto);
+    std::printf("%-18s %13.2f MB %8.3fs\n", c.name, r.peak_bytes / 1e6,
+                r.seconds);
+  }
+  std::printf("\n-- sparse-only BFS (no direction optimization; the paper's "
+              "'sparse-only' experiment where edgeMapSparse/Blocked exceed "
+              "DRAM) --\n");
+  for (auto c : {Case{"edgeMapSparse", SparseVariant::kSparse},
+                 Case{"edgeMapBlocked", SparseVariant::kBlocked},
+                 Case{"edgeMapChunked", SparseVariant::kChunked}}) {
+    auto r = BfsWithVariant(g, c.variant, TraversalMode::kSparseOnly);
+    std::printf("%-18s %13.2f MB %8.3fs\n", c.name, r.peak_bytes / 1e6,
+                r.seconds);
+  }
+  std::printf("\npaper (Hyperlink2012 BFS): 115 GB / 90.3 GB / 87.5 GB "
+              "total DRAM (1.31x saving sparse->chunked); sparse-only BFS "
+              "segfaults (492 GB alloc) except with edgeMapChunked "
+              "(120 GB peak).\n");
+  return 0;
+}

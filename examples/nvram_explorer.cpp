@@ -1,0 +1,68 @@
+// NVRAM cost explorer: runs one algorithm under every device
+// configuration the emulation layer models (App-Direct, Memory Mode,
+// libvmmalloc-style, pure DRAM), across a sweep of write-asymmetry values
+// omega, and prints the PSAM cost and projected device time for each.
+// This is the example to read to understand the emulation substrate.
+#include <cstdio>
+
+#include "algorithms/algorithms.h"
+#include "baselines/gbbs_algorithms.h"
+#include "core/sage.h"
+
+using namespace sage;
+
+namespace {
+
+void RunOne(const char* label, const Graph& g, nvram::AllocPolicy policy,
+            bool mutating, double omega) {
+  auto& cm = nvram::CostModel::Get();
+  auto cfg = cm.config();
+  cfg.omega = omega;
+  cm.SetConfig(cfg);
+  cm.SetAllocPolicy(policy);
+  cm.ResetCounters();
+  Timer t;
+  if (mutating) {
+    (void)baselines::GbbsTriangleCount(g);
+  } else {
+    (void)TriangleCount(g);
+  }
+  double wall = t.Seconds();
+  auto totals = cm.Totals();
+  double emu_ms = cm.EmulatedNanos(totals, num_workers()) / 1e6;
+  std::printf("%-26s omega=%4.1f  wall=%7.3fs  psam-cost=%10.1fM  "
+              "device-time=%9.1fms  nvram_w=%llu\n",
+              label, omega, wall, totals.PsamCost(omega) / 1e6, emu_ms,
+              static_cast<unsigned long long>(totals.nvram_writes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cmd(argc, argv);
+  int log_n = static_cast<int>(cmd.GetInt("logn", 14));
+  uint64_t edges = static_cast<uint64_t>(cmd.GetInt("edges", 400000));
+  Graph g = RmatGraph(log_n, edges, 5);
+  std::printf("triangle counting on RMAT n=%u m=%llu, under every device "
+              "configuration:\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  for (double omega : {1.0, 4.0, 16.0}) {
+    RunOne("Sage (App-Direct)", g, nvram::AllocPolicy::kGraphNvram, false,
+           omega);
+    RunOne("Sage (pure DRAM)", g, nvram::AllocPolicy::kAllDram, false,
+           omega);
+    RunOne("GBBS-style (App-Direct)", g, nvram::AllocPolicy::kGraphNvram,
+           true, omega);
+    RunOne("GBBS-style (MemoryMode)", g, nvram::AllocPolicy::kMemoryMode,
+           true, omega);
+    RunOne("GBBS-style (libvmmalloc)", g, nvram::AllocPolicy::kAllNvram,
+           true, omega);
+    std::printf("\n");
+  }
+  std::printf("Sage's device time is flat in omega (zero NVRAM writes); "
+              "the mutating baseline's grows linearly.\n");
+  nvram::CostModel::Get().SetConfig(nvram::EmulationConfig{});
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Single-source betweenness centrality (Brandes contributions) in the
+// level-synchronous style of Ligra/GBBS (Section 4.3.1). Forward sweep:
+// BFS that accumulates shortest-path counts sigma per level; backward
+// sweep: dependency accumulation over the level sets in reverse. PSAM:
+// O(m) work, O(d_G log n) depth, O(n) words (the level sets partition V).
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "core/vertex_subset.h"
+#include "graph/types.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+namespace internal {
+
+/// Atomic add for doubles (CAS loop; contention is per-vertex and brief).
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Forward functor: accumulate sigma along level edges. Two flag arrays,
+/// as in Ligra's BC: `cond` consults `visited`, which is finalized at the
+/// *end* of each round, so every parent's contribution lands even after
+/// the vertex has been claimed for the next frontier; `in_next` only
+/// de-duplicates the output frontier.
+struct BetweennessForwardF {
+  std::atomic<double>* sigma;
+  std::atomic<uint8_t>* visited;
+  std::atomic<uint8_t>* in_next;
+
+  bool update(vertex_id s, vertex_id d, weight_t w) {
+    return updateAtomic(s, d, w);
+  }
+  bool updateAtomic(vertex_id s, vertex_id d, weight_t) {
+    internal::AtomicAddDouble(&sigma[d],
+                              sigma[s].load(std::memory_order_relaxed));
+    uint8_t expected = 0;
+    return in_next[d].compare_exchange_strong(expected, 1,
+                                              std::memory_order_relaxed);
+  }
+  bool cond(vertex_id d) {
+    return visited[d].load(std::memory_order_relaxed) == 0;
+  }
+};
+
+/// Betweenness contributions of all (src, t) shortest paths through each
+/// vertex (delta values; delta[src] = 0).
+template <typename GraphT>
+std::vector<double> Betweenness(const GraphT& g, vertex_id src,
+                                const EdgeMapOptions& opts =
+                                    EdgeMapOptions{}) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<double>> sigma(n);
+  std::vector<std::atomic<uint8_t>> visited(n);
+  std::vector<std::atomic<uint8_t>> in_next(n);
+  std::vector<uint32_t> level(n, std::numeric_limits<uint32_t>::max());
+  parallel_for(0, n, [&](size_t v) {
+    sigma[v].store(0.0, std::memory_order_relaxed);
+    visited[v].store(0, std::memory_order_relaxed);
+    in_next[v].store(0, std::memory_order_relaxed);
+  });
+  sigma[src].store(1.0, std::memory_order_relaxed);
+  visited[src].store(1, std::memory_order_relaxed);
+  level[src] = 0;
+
+  // Forward phase: keep each level's (sparse) frontier for the backward
+  // sweep. The level sets partition the reached vertices: O(n) words total.
+  std::vector<std::vector<vertex_id>> levels;
+  levels.push_back({src});
+  auto frontier = VertexSubset::Single(n, src);
+  uint32_t depth = 0;
+  while (!frontier.IsEmpty()) {
+    ++depth;
+    BetweennessForwardF f{sigma.data(), visited.data(), in_next.data()};
+    auto next = EdgeMap(g, frontier, f, opts);
+    next.ToSparse();
+    uint32_t d = depth;
+    next.Map([&](vertex_id v) {
+      level[v] = d;
+      visited[v].store(1, std::memory_order_relaxed);
+      in_next[v].store(0, std::memory_order_relaxed);
+    });
+    if (!next.IsEmpty()) levels.push_back(next.ids());
+    frontier = std::move(next);
+  }
+
+  // Backward phase: accumulate dependencies level by level, deepest first.
+  std::vector<std::atomic<double>> delta(n);
+  parallel_for(0, n, [&](size_t v) {
+    delta[v].store(0.0, std::memory_order_relaxed);
+  });
+  for (size_t l = levels.size(); l-- > 1;) {
+    const auto& lvl = levels[l];
+    parallel_for(0, lvl.size(), [&](size_t i) {
+      vertex_id w = lvl[i];
+      double coeff = (1.0 + delta[w].load(std::memory_order_relaxed)) /
+                     sigma[w].load(std::memory_order_relaxed);
+      g.MapNeighbors(w, [&](vertex_id, vertex_id v, weight_t) {
+        if (level[v] + 1 == level[w]) {
+          internal::AtomicAddDouble(
+              &delta[v], sigma[v].load(std::memory_order_relaxed) * coeff);
+        }
+      });
+    });
+  }
+  return tabulate<double>(n, [&](size_t v) {
+    return v == src ? 0.0 : delta[v].load(std::memory_order_relaxed);
+  });
+}
+
+}  // namespace sage

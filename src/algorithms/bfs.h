@@ -1,0 +1,86 @@
+// Breadth-first search (Section 4.1.3, Figure 4 of the paper).
+//
+// PSAM bounds: O(m) work, O(d_G log n) depth, O(n) words of small-memory
+// (Theorem 4.2). The traversal uses edgeMapChunked by default, so no step
+// allocates more than O(n) intermediate DRAM and the NVRAM-resident graph
+// is never written.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "core/edge_map.h"
+#include "core/vertex_subset.h"
+#include "graph/types.h"
+#include "parallel/parallel.h"
+
+namespace sage {
+
+/// BFS functor with the Ligra update/updateAtomic/cond interface.
+struct BfsF {
+  std::atomic<vertex_id>* parents;
+
+  bool update(vertex_id s, vertex_id d, weight_t) {
+    if (parents[d].load(std::memory_order_relaxed) == kNoVertex) {
+      parents[d].store(s, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  bool updateAtomic(vertex_id s, vertex_id d, weight_t) {
+    vertex_id expected = kNoVertex;
+    return parents[d].compare_exchange_strong(expected, s,
+                                              std::memory_order_relaxed);
+  }
+  bool cond(vertex_id d) {
+    return parents[d].load(std::memory_order_relaxed) == kNoVertex;
+  }
+};
+
+/// Returns the BFS tree from `src` as a parent array: P[src] = src,
+/// P[v] = parent of v in some shortest-path tree, P[v] = kNoVertex when v
+/// is unreachable.
+template <typename GraphT>
+std::vector<vertex_id> Bfs(const GraphT& g, vertex_id src,
+                           const EdgeMapOptions& opts = EdgeMapOptions{}) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<vertex_id>> parents(n);
+  parallel_for(0, n, [&](size_t v) {
+    parents[v].store(kNoVertex, std::memory_order_relaxed);
+  });
+  parents[src].store(src, std::memory_order_relaxed);
+  auto frontier = VertexSubset::Single(n, src);
+  while (!frontier.IsEmpty()) {
+    BfsF f{parents.data()};
+    frontier = EdgeMap(g, frontier, f, opts);
+  }
+  return tabulate<vertex_id>(
+      n, [&](size_t v) { return parents[v].load(std::memory_order_relaxed); });
+}
+
+/// Returns BFS levels (hop distance) from `src`; unreachable = UINT32_MAX.
+template <typename GraphT>
+std::vector<uint32_t> BfsLevels(const GraphT& g, vertex_id src,
+                                const EdgeMapOptions& opts = EdgeMapOptions{}) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<vertex_id>> parents(n);
+  parallel_for(0, n, [&](size_t v) {
+    parents[v].store(kNoVertex, std::memory_order_relaxed);
+  });
+  parents[src].store(src, std::memory_order_relaxed);
+  std::vector<uint32_t> level(n, std::numeric_limits<uint32_t>::max());
+  level[src] = 0;
+  auto frontier = VertexSubset::Single(n, src);
+  uint32_t depth = 0;
+  while (!frontier.IsEmpty()) {
+    ++depth;
+    BfsF f{parents.data()};
+    auto next = EdgeMap(g, frontier, f, opts);
+    uint32_t d = depth;
+    next.Map([&](vertex_id v) { level[v] = d; });
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+}  // namespace sage

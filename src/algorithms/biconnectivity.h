@@ -1,0 +1,242 @@
+// Biconnectivity (Section 4.3.2, Appendix C.2) in the Tarjan-Vishkin
+// framework, as implemented by GBBS:
+//
+//   1. BFS spanning forest (multi-source from one root per component);
+//   2. preorder numbers, subtree sizes, and low/high values over the
+//      forest, computed level-synchronously;
+//   3. connectivity over the *implicit* Tarjan-Vishkin auxiliary graph
+//      whose nodes are tree edges (identified with their child vertex):
+//        rule 1: a non-tree edge (u, v) with pre(u) + size(u) <= pre(v)
+//                joins nodes u and v;
+//        rule 2: a tree edge (v, w), v = parent(w), v non-root, with
+//                low(w) < pre(v) or high(w) >= pre(v) + size(v) joins
+//                nodes v and w;
+//      streamed into a concurrent union-find (O(n) words, never
+//      materializing the O(m) auxiliary graph);
+//   4. each edge is labeled by the auxiliary component of its block's
+//      child node: tree edge (p(w), w) -> Find(w); non-tree edge (u, v)
+//      -> Find of the endpoint with larger preorder.
+//
+// The rule-1 scan runs over a graphFilter from which tree edges have been
+// packed out - the paper's "connectivity on the input graph with a large
+// subset of edges removed" use of the filter. The NVRAM graph is untouched.
+// PSAM: O(m) expected work, O(d_G log n + log^3 n) depth whp,
+// O(n + m / log n) words of DRAM.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/union_find.h"
+#include "core/graph_filter.h"
+#include "graph/types.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+
+namespace sage {
+
+/// Result of the biconnectivity computation.
+struct BiconnectivityResult {
+  /// Auxiliary-component label per vertex-node (kNoVertex for roots and
+  /// isolated vertices). EdgeLabel() maps edges to their block label.
+  std::vector<vertex_id> node_label;
+  std::vector<vertex_id> parent;  // BFS forest parent (roots: self)
+  std::vector<uint32_t> preorder;
+  std::vector<uint32_t> subtree_size;
+
+  /// Biconnected-component label of edge (u, v).
+  vertex_id EdgeLabel(vertex_id u, vertex_id v) const {
+    if (parent[v] == u) return node_label[v];
+    if (parent[u] == v) return node_label[u];
+    return preorder[u] > preorder[v] ? node_label[u] : node_label[v];
+  }
+};
+
+/// Computes biconnected components of a symmetric graph.
+template <typename GraphT>
+BiconnectivityResult Biconnectivity(const GraphT& g,
+                                    const ConnectivityOptions& copts =
+                                        ConnectivityOptions{}) {
+  const vertex_id n = g.num_vertices();
+  BiconnectivityResult result;
+
+  // --- 1. One root per component, then a multi-source BFS forest. ---
+  auto comp = Connectivity(g, copts);
+  std::vector<std::atomic<vertex_id>> root_of(n);
+  parallel_for(0, n, [&](size_t v) {
+    root_of[v].store(kNoVertex, std::memory_order_relaxed);
+  });
+  parallel_for(0, n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    // Min vertex id per component label becomes the root.
+    auto& slot = root_of[comp[v]];
+    vertex_id cur = slot.load(std::memory_order_relaxed);
+    while (v < cur || cur == kNoVertex) {
+      if (slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  });
+  std::vector<std::atomic<vertex_id>> parents(n);
+  parallel_for(0, n, [&](size_t v) {
+    parents[v].store(kNoVertex, std::memory_order_relaxed);
+  });
+  auto roots = pack_index<vertex_id>(n, [&](size_t v) {
+    return root_of[comp[v]].load(std::memory_order_relaxed) ==
+           static_cast<vertex_id>(v);
+  });
+  parallel_for(0, roots.size(), [&](size_t i) {
+    parents[roots[i]].store(roots[i], std::memory_order_relaxed);
+  });
+  std::vector<uint32_t> level(n, 0);
+  std::vector<std::vector<vertex_id>> levels;  // level -> vertices
+  levels.push_back(roots);
+  auto frontier = VertexSubset::Sparse(n, std::move(roots));
+  uint32_t depth = 0;
+  while (!frontier.IsEmpty()) {
+    ++depth;
+    BfsF f{parents.data()};
+    auto next = EdgeMap(g, frontier, f, copts.edge_map);
+    next.ToSparse();
+    uint32_t d = depth;
+    next.Map([&](vertex_id v) { level[v] = d; });
+    if (!next.IsEmpty()) levels.push_back(next.ids());
+    frontier = std::move(next);
+  }
+  result.parent = tabulate<vertex_id>(n, [&](size_t v) {
+    return parents[v].load(std::memory_order_relaxed);
+  });
+  const auto& parent = result.parent;
+
+  // --- 2. Children lists, subtree sizes, preorder, low/high. ---
+  // Children of v, ordered by child id: sort non-root vertices by parent.
+  auto nonroots = pack_index<vertex_id>(n, [&](size_t v) {
+    return parent[v] != kNoVertex && parent[v] != static_cast<vertex_id>(v);
+  });
+  auto by_parent = tabulate<std::pair<vertex_id, vertex_id>>(
+      nonroots.size(), [&](size_t i) {
+        return std::make_pair(parent[nonroots[i]], nonroots[i]);
+      });
+  parallel_sort_inplace(by_parent);
+  // child_start[v]: first index of v's children in by_parent.
+  std::vector<uint32_t> child_start(n + 1, 0);
+  parallel_for(0, by_parent.size(), [&](size_t i) {
+    if (i == 0 || by_parent[i].first != by_parent[i - 1].first) {
+      child_start[by_parent[i].first] = static_cast<uint32_t>(i);
+    }
+  });
+  // Fill gaps: positions for vertices with no children.
+  {
+    // Sequential backward fill (O(n)); vertices without children point at
+    // the next parent's start.
+    uint32_t next_val = static_cast<uint32_t>(by_parent.size());
+    child_start[n] = next_val;
+    std::vector<uint8_t> has_children(n, 0);
+    for (size_t i = 0; i < by_parent.size(); ++i) {
+      has_children[by_parent[i].first] = 1;
+    }
+    for (size_t v = n; v-- > 0;) {
+      if (has_children[v]) {
+        next_val = child_start[v];
+      } else {
+        child_start[v] = next_val;
+      }
+    }
+  }
+  auto children_of = [&](vertex_id v, auto&& fn) {
+    for (uint32_t i = child_start[v]; i < child_start[v + 1]; ++i) {
+      fn(by_parent[i].second);
+    }
+  };
+
+  // Subtree sizes: bottom-up by level.
+  result.subtree_size.assign(n, 1);
+  auto& size = result.subtree_size;
+  for (size_t l = levels.size(); l-- > 0;) {
+    const auto& lvl = levels[l];
+    parallel_for(0, lvl.size(), [&](size_t i) {
+      vertex_id v = lvl[i];
+      uint32_t s = 1;
+      children_of(v, [&](vertex_id c) { s += size[c]; });
+      size[v] = s;
+    });
+  }
+  // Preorder: roots offset by an exclusive scan of component sizes, then
+  // top-down: children are numbered after the parent, in child-id order.
+  result.preorder.assign(n, 0);
+  auto& pre = result.preorder;
+  {
+    const auto& rts = levels[0];
+    std::vector<uint64_t> offs(rts.size());
+    for (size_t i = 0; i < rts.size(); ++i) offs[i] = size[rts[i]];
+    scan_add_inplace(offs);
+    parallel_for(0, rts.size(), [&](size_t i) {
+      pre[rts[i]] = static_cast<uint32_t>(offs[i]);
+    });
+  }
+  for (size_t l = 0; l + 1 < levels.size(); ++l) {
+    const auto& lvl = levels[l];
+    parallel_for(0, lvl.size(), [&](size_t i) {
+      vertex_id v = lvl[i];
+      uint32_t next_pre = pre[v] + 1;
+      children_of(v, [&](vertex_id c) {
+        pre[c] = next_pre;
+        next_pre += size[c];
+      });
+    });
+  }
+
+  // low/high: bottom-up by level over non-tree edges and children.
+  std::vector<uint32_t> low(n), high(n);
+  for (size_t l = levels.size(); l-- > 0;) {
+    const auto& lvl = levels[l];
+    parallel_for(0, lvl.size(), [&](size_t i) {
+      vertex_id v = lvl[i];
+      uint32_t lo = pre[v], hi = pre[v];
+      g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
+        if (parent[u] == v || parent[v] == u) return;  // tree edge
+        lo = std::min(lo, pre[u]);
+        hi = std::max(hi, pre[u]);
+      });
+      children_of(v, [&](vertex_id c) {
+        lo = std::min(lo, low[c]);
+        hi = std::max(hi, high[c]);
+      });
+      low[v] = lo;
+      high[v] = hi;
+    });
+  }
+
+  // --- 3. Connectivity on the implicit auxiliary graph. ---
+  AtomicUnionFind uf(n);
+  // Rule 2, streamed over tree edges (w, parent v), v non-root.
+  parallel_for(0, nonroots.size(), [&](size_t i) {
+    vertex_id w = nonroots[i];
+    vertex_id v = parent[w];
+    if (parent[v] == v) return;  // v is a root: no node (p(v), v)
+    if (low[w] < pre[v] || high[w] >= pre[v] + size[v]) uf.Unite(v, w);
+  });
+  // Rule 1, streamed over the non-tree edges remaining in a graph filter.
+  GraphFilter<GraphT> gf(g);
+  gf.FilterEdges([&](vertex_id v, vertex_id u) {
+    return parent[u] != v && parent[v] != u;  // drop tree edges
+  });
+  parallel_for(0, n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    gf.MapActive(v, [&](vertex_id, vertex_id u) {
+      // Process each undirected non-tree edge once, from the low-pre side.
+      if (pre[v] < pre[u] && pre[v] + size[v] <= pre[u]) uf.Unite(v, u);
+    });
+  });
+  result.node_label = tabulate<vertex_id>(n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    if (parent[v] == v || parent[v] == kNoVertex) return kNoVertex;
+    return uf.Find(v);
+  });
+  return result;
+}
+
+}  // namespace sage

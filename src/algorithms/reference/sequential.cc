@@ -1,0 +1,437 @@
+#include "algorithms/reference/sequential.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stack>
+
+namespace sage::ref {
+
+namespace {
+constexpr uint32_t kUnreached32 = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+std::vector<uint32_t> BfsLevels(const Graph& g, vertex_id src) {
+  std::vector<uint32_t> level(g.num_vertices(), kUnreached32);
+  std::vector<vertex_id> queue{src};
+  level[src] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    vertex_id u = queue[head];
+    for (vertex_id v : g.NeighborsUncharged(u)) {
+      if (level[v] == kUnreached32) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<uint64_t> Dijkstra(const Graph& g, vertex_id src) {
+  std::vector<uint64_t> dist(g.num_vertices(), kInfDist);
+  using Entry = std::pair<uint64_t, vertex_id>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    auto nbrs = g.NeighborsUncharged(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      uint64_t nd = d + g.weight_at(u, static_cast<vertex_id>(i));
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        pq.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> WidestPath(const Graph& g, vertex_id src) {
+  std::vector<uint64_t> cap(g.num_vertices(), 0);
+  using Entry = std::pair<uint64_t, vertex_id>;
+  std::priority_queue<Entry> pq;  // max-heap on capacity
+  cap[src] = std::numeric_limits<uint64_t>::max();
+  pq.push({cap[src], src});
+  while (!pq.empty()) {
+    auto [c, u] = pq.top();
+    pq.pop();
+    if (c != cap[u]) continue;
+    auto nbrs = g.NeighborsUncharged(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      uint64_t through =
+          std::min<uint64_t>(c, g.weight_at(u, static_cast<vertex_id>(i)));
+      if (through > cap[nbrs[i]]) {
+        cap[nbrs[i]] = through;
+        pq.push({through, nbrs[i]});
+      }
+    }
+  }
+  return cap;
+}
+
+std::vector<double> Betweenness(const Graph& g, vertex_id src) {
+  const vertex_id n = g.num_vertices();
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<uint32_t> level(n, kUnreached32);
+  std::vector<vertex_id> order;  // BFS order
+  sigma[src] = 1.0;
+  level[src] = 0;
+  order.push_back(src);
+  for (size_t head = 0; head < order.size(); ++head) {
+    vertex_id u = order[head];
+    for (vertex_id v : g.NeighborsUncharged(u)) {
+      if (level[v] == kUnreached32) {
+        level[v] = level[u] + 1;
+        order.push_back(v);
+      }
+      if (level[v] == level[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (size_t i = order.size(); i-- > 0;) {
+    vertex_id w = order[i];
+    for (vertex_id v : g.NeighborsUncharged(w)) {
+      if (level[v] == level[w] + 1 && sigma[v] > 0) {
+        delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+  }
+  delta[src] = 0.0;
+  return delta;
+}
+
+std::vector<vertex_id> Components(const Graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<vertex_id> label(n, kNoVertex);
+  for (vertex_id s = 0; s < n; ++s) {
+    if (label[s] != kNoVertex) continue;
+    label[s] = s;
+    std::vector<vertex_id> queue{s};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (vertex_id v : g.NeighborsUncharged(queue[head])) {
+        if (label[v] == kNoVertex) {
+          label[v] = s;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+size_t NumComponents(const Graph& g) {
+  auto label = Components(g);
+  size_t count = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) count += label[v] == v;
+  return count;
+}
+
+std::vector<uint32_t> Coreness(const Graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<uint32_t> deg(n), core(n, 0);
+  std::vector<uint8_t> removed(n, 0);
+  uint32_t max_deg = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    deg[v] = g.degree_uncharged(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue peeling.
+  std::vector<std::vector<vertex_id>> buckets(max_deg + 1);
+  for (vertex_id v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  uint32_t k = 0;
+  for (uint32_t b = 0; b <= max_deg; ++b) {
+    for (size_t i = 0; i < buckets[b].size(); ++i) {
+      vertex_id v = buckets[b][i];
+      if (removed[v] || deg[v] != b) continue;
+      k = std::max(k, b);
+      core[v] = k;
+      removed[v] = 1;
+      for (vertex_id u : g.NeighborsUncharged(v)) {
+        if (removed[u] || deg[u] <= b) continue;
+        --deg[u];
+        if (deg[u] >= b) buckets[std::max(deg[u], b)].push_back(u);
+      }
+    }
+    buckets[b].clear();
+  }
+  return core;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  // Orient by (degree, id) and intersect out-neighborhoods.
+  const vertex_id n = g.num_vertices();
+  auto rank_less = [&](vertex_id a, vertex_id b) {
+    uint64_t da = g.degree_uncharged(a), db = g.degree_uncharged(b);
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::vector<vertex_id>> out(n);
+  for (vertex_id v = 0; v < n; ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      if (rank_less(v, u)) out[v].push_back(u);
+    }
+  }
+  uint64_t count = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    for (vertex_id u : out[v]) {
+      size_t i = 0, j = 0;
+      while (i < out[v].size() && j < out[u].size()) {
+        if (out[v][i] < out[u][j]) {
+          ++i;
+        } else if (out[v][i] > out[u][j]) {
+          ++j;
+        } else {
+          ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<vertex_id> GreedySetCover(const Graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<uint8_t> covered(n, 1);
+  size_t uncovered = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    if (g.degree_uncharged(v) > 0) {
+      covered[v] = 0;
+      ++uncovered;
+    }
+  }
+  std::vector<vertex_id> chosen;
+  while (uncovered > 0) {
+    vertex_id best = kNoVertex;
+    size_t best_gain = 0;
+    for (vertex_id s = 0; s < n; ++s) {
+      size_t gain = 0;
+      for (vertex_id u : g.NeighborsUncharged(s)) gain += covered[u] == 0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == kNoVertex) break;
+    chosen.push_back(best);
+    for (vertex_id u : g.NeighborsUncharged(best)) {
+      if (!covered[u]) {
+        covered[u] = 1;
+        --uncovered;
+      }
+    }
+  }
+  return chosen;
+}
+
+double GreedyDensestSubgraphDensity(const Graph& g) {
+  const vertex_id n = g.num_vertices();
+  std::vector<uint32_t> deg(n);
+  std::vector<uint8_t> removed(n, 0);
+  uint64_t live_edges = g.num_edges() / 2;  // undirected count
+  uint64_t live_vertices = n;
+  for (vertex_id v = 0; v < n; ++v) deg[v] = g.degree_uncharged(v);
+  double best = live_vertices == 0
+                    ? 0.0
+                    : static_cast<double>(live_edges) / live_vertices;
+  // Repeatedly remove a minimum-degree vertex.
+  using Entry = std::pair<uint32_t, vertex_id>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (vertex_id v = 0; v < n; ++v) pq.push({deg[v], v});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (removed[v] || d != deg[v]) continue;
+    removed[v] = 1;
+    live_edges -= deg[v];
+    --live_vertices;
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      if (!removed[u]) {
+        --deg[u];
+        pq.push({deg[u], u});
+      }
+    }
+    if (live_vertices > 0) {
+      best = std::max(best,
+                      static_cast<double>(live_edges) / live_vertices);
+    }
+  }
+  return best;
+}
+
+std::vector<double> PageRank(const Graph& g, int iters) {
+  const vertex_id n = g.num_vertices();
+  const double d = 0.85;
+  std::vector<double> p(n, 1.0 / n), next(n);
+  for (int it = 0; it < iters; ++it) {
+    for (vertex_id v = 0; v < n; ++v) {
+      double acc = 0;
+      for (vertex_id u : g.NeighborsUncharged(v)) {
+        acc += p[u] / g.degree_uncharged(u);
+      }
+      next[v] = (1.0 - d) / n + d * acc;
+    }
+    std::swap(p, next);
+  }
+  return p;
+}
+
+std::vector<uint32_t> BiconnectedComponents(const Graph& g) {
+  // Iterative Hopcroft-Tarjan. Labels every directed edge slot; the two
+  // slots of an undirected edge get the same label.
+  const vertex_id n = g.num_vertices();
+  const auto& offsets = g.raw_offsets();
+  const auto& nbrs = g.raw_neighbors();
+  std::vector<uint32_t> labels(nbrs.size(),
+                               std::numeric_limits<uint32_t>::max());
+  std::vector<uint32_t> disc(n, 0), low(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  uint32_t timer = 1, next_label = 0;
+
+  // Map a directed slot to its reverse slot for label mirroring.
+  auto reverse_slot = [&](size_t slot, vertex_id u) -> size_t {
+    vertex_id v = nbrs[slot];
+    for (size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (nbrs[i] == u) return i;
+    }
+    SAGE_CHECK(false);
+    return 0;
+  };
+
+  struct Frame {
+    vertex_id v;
+    vertex_id parent;
+    size_t edge_cursor;  // absolute slot index
+  };
+  std::vector<size_t> edge_stack;  // slots of tree/back edges seen
+
+  for (vertex_id root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root, kNoVertex, offsets[root]});
+    visited[root] = 1;
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.edge_cursor < offsets[f.v + 1]) {
+        size_t slot = f.edge_cursor++;
+        vertex_id w = nbrs[slot];
+        if (!visited[w]) {
+          edge_stack.push_back(slot);
+          visited[w] = 1;
+          disc[w] = low[w] = timer++;
+          stack.push_back({w, f.v, offsets[w]});
+        } else if (w != f.parent && disc[w] < disc[f.v]) {
+          edge_stack.push_back(slot);
+          low[f.v] = std::min(low[f.v], disc[w]);
+        } else if (w == f.parent) {
+          // Skip one parent edge occurrence (simple graphs: exactly one).
+        }
+      } else {
+        Frame done = stack.back();
+        stack.pop_back();
+        if (stack.empty()) continue;
+        Frame& pf = stack.back();
+        low[pf.v] = std::min(low[pf.v], low[done.v]);
+        if (low[done.v] >= disc[pf.v]) {
+          // Pop the biconnected component rooted at edge (pf.v, done.v).
+          uint32_t label = next_label++;
+          for (;;) {
+            SAGE_CHECK(!edge_stack.empty());
+            size_t slot = edge_stack.back();
+            edge_stack.pop_back();
+            // The slot belongs to edge (x, nbrs[slot]); find x via search
+            // over the stack frames is costly - recover x by binary search
+            // on offsets.
+            size_t lo = 0, hi = n;
+            while (lo + 1 < hi) {
+              size_t mid = (lo + hi) / 2;
+              if (offsets[mid] <= slot) {
+                lo = mid;
+              } else {
+                hi = mid;
+              }
+            }
+            vertex_id x = static_cast<vertex_id>(lo);
+            labels[slot] = label;
+            labels[reverse_slot(slot, x)] = label;
+            if (x == pf.v && nbrs[slot] == done.v) break;
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+bool IsMaximalIndependentSet(const Graph& g,
+                             const std::vector<uint8_t>& mis) {
+  const vertex_id n = g.num_vertices();
+  for (vertex_id v = 0; v < n; ++v) {
+    if (mis[v]) {
+      for (vertex_id u : g.NeighborsUncharged(v)) {
+        if (mis[u]) return false;  // not independent
+      }
+    } else {
+      bool has_in_neighbor = false;
+      for (vertex_id u : g.NeighborsUncharged(v)) {
+        if (mis[u]) {
+          has_in_neighbor = true;
+          break;
+        }
+      }
+      if (!has_in_neighbor) return false;  // not maximal
+    }
+  }
+  return true;
+}
+
+bool IsProperColoring(const Graph& g, const std::vector<uint32_t>& colors) {
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      if (colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalMatching(
+    const Graph& g,
+    const std::vector<std::pair<vertex_id, vertex_id>>& matching) {
+  const vertex_id n = g.num_vertices();
+  std::vector<uint8_t> matched(n, 0);
+  std::set<std::pair<vertex_id, vertex_id>> edges;
+  for (vertex_id v = 0; v < n; ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) edges.insert({v, u});
+  }
+  for (auto [u, v] : matching) {
+    if (!edges.count({u, v})) return false;       // not a graph edge
+    if (matched[u] || matched[v]) return false;   // shares an endpoint
+    matched[u] = matched[v] = 1;
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    if (matched[v]) continue;
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      if (!matched[u]) return false;  // edge (v,u) could still be added
+    }
+  }
+  return true;
+}
+
+bool IsSetCover(const Graph& g, const std::vector<vertex_id>& sets) {
+  const vertex_id n = g.num_vertices();
+  std::vector<uint8_t> covered(n, 0);
+  for (vertex_id s : sets) {
+    for (vertex_id u : g.NeighborsUncharged(s)) covered[u] = 1;
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    if (g.degree_uncharged(v) > 0 && !covered[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace sage::ref

@@ -1,0 +1,71 @@
+// Sequential reference implementations used to validate the parallel Sage
+// algorithms. These are textbook, single-threaded, and deliberately simple:
+// their only job is to be obviously correct on test-sized graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace sage::ref {
+
+/// BFS levels from src; unreached = UINT32_MAX.
+std::vector<uint32_t> BfsLevels(const Graph& g, vertex_id src);
+
+/// Dijkstra distances from src (weighted graphs); unreached = kInfDist.
+std::vector<uint64_t> Dijkstra(const Graph& g, vertex_id src);
+
+/// Widest-path ("maximum bottleneck") values from src; unreached = 0,
+/// src itself = UINT64_MAX.
+std::vector<uint64_t> WidestPath(const Graph& g, vertex_id src);
+
+/// Brandes single-source betweenness contributions from src.
+std::vector<double> Betweenness(const Graph& g, vertex_id src);
+
+/// Connected-component labels (label = min vertex id in component).
+std::vector<vertex_id> Components(const Graph& g);
+
+/// Number of connected components.
+size_t NumComponents(const Graph& g);
+
+/// Coreness (max k such that v is in the k-core) via sequential peeling.
+std::vector<uint32_t> Coreness(const Graph& g);
+
+/// Total triangle count (each triangle counted once).
+uint64_t CountTriangles(const Graph& g);
+
+/// Greedy sequential set cover (max uncovered-degree first). Covers every
+/// non-isolated vertex with neighborhoods N(s). Returns the chosen sets.
+std::vector<vertex_id> GreedySetCover(const Graph& g);
+
+/// Density of the densest prefix found by Charikar's greedy peeling
+/// (a 2-approximation of the maximum subgraph density).
+double GreedyDensestSubgraphDensity(const Graph& g);
+
+/// Sequential PageRank (power iteration, damping 0.85) for `iters`
+/// iterations from the uniform vector.
+std::vector<double> PageRank(const Graph& g, int iters);
+
+/// Biconnected-component label per directed edge slot, via Hopcroft-Tarjan.
+/// Symmetric slots (u,v) and (v,u) share a label; labels are arbitrary but
+/// consistent ids. Isolated vertices have no edges. Bridges form singleton
+/// components.
+std::vector<uint32_t> BiconnectedComponents(const Graph& g);
+
+/// True if `mis` ({0,1} per vertex) is a maximal independent set of g.
+bool IsMaximalIndependentSet(const Graph& g, const std::vector<uint8_t>& mis);
+
+/// True if `colors` is a proper vertex coloring of g.
+bool IsProperColoring(const Graph& g, const std::vector<uint32_t>& colors);
+
+/// True if `matching` (list of edges) is a valid maximal matching of g.
+bool IsMaximalMatching(const Graph& g,
+                       const std::vector<std::pair<vertex_id, vertex_id>>&
+                           matching);
+
+/// True if `sets` covers every non-isolated vertex of g via neighborhoods.
+bool IsSetCover(const Graph& g, const std::vector<vertex_id>& sets);
+
+}  // namespace sage::ref

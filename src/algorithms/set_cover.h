@@ -1,0 +1,143 @@
+// Approximate set cover (Section 4.3.3) in the bucketed MaNIS style of
+// Julienne/GBBS [36, 37]: sets (vertices; set s covers N(s)) are bucketed
+// by log_{1+eps} of their uncovered degree and processed from the largest
+// bucket down. Sets in the top bucket first pack away already-covered
+// elements through the graphFilter (never touching the NVRAM graph), then
+// bid for their remaining elements with random priorities; sets that win
+// at least half of the bucket's degree threshold join the cover, the rest
+// are re-bucketed by their new degree. Yields an O(log n)-approximation.
+// PSAM: O(m) expected work, O(log^3 n) depth whp, O(n + m/log n) words.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "algorithms/bellman_ford.h"  // internal::WriteMin
+#include "common/random.h"
+#include "core/bucketing.h"
+#include "core/graph_filter.h"
+#include "graph/types.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+/// Options for ApproximateSetCover.
+struct SetCoverOptions {
+  double eps = 0.5;  // bucket granularity (1 + eps)
+  uint64_t seed = 1;
+  uint32_t filter_block_size = 0;
+};
+
+/// Returns set ids whose neighborhoods cover every non-isolated vertex.
+template <typename GraphT>
+std::vector<vertex_id> ApproximateSetCover(const GraphT& g,
+                                           const SetCoverOptions& opts =
+                                               SetCoverOptions{}) {
+  const vertex_id n = g.num_vertices();
+  const double log_base = std::log(1.0 + opts.eps);
+  auto bucket_of_degree = [&](uint64_t d) -> bucket_id {
+    if (d == 0) return kNullBucket;
+    return static_cast<bucket_id>(std::log(static_cast<double>(d)) /
+                                  log_base) +
+           1;
+  };
+
+  GraphFilter<GraphT> gf(g, opts.filter_block_size);
+  std::vector<std::atomic<uint8_t>> covered(n);
+  std::vector<std::atomic<uint64_t>> bid(n);  // element -> best set key
+  constexpr uint64_t kFreeBid = ~0ULL;
+  parallel_for(0, n, [&](size_t v) {
+    covered[v].store(0, std::memory_order_relaxed);
+    bid[v].store(kFreeBid, std::memory_order_relaxed);
+  });
+
+  uint64_t max_deg = reduce_max<uint64_t>(
+      n,
+      [&](size_t v) {
+        return g.degree_uncharged(static_cast<vertex_id>(v));
+      },
+      0);
+  bucket_id max_bucket = bucket_of_degree(std::max<uint64_t>(max_deg, 1));
+  Buckets buckets(
+      n,
+      [&](vertex_id s) {
+        return bucket_of_degree(g.degree_uncharged(s));
+      },
+      BucketOrder::kDecreasing, max_bucket);
+
+  std::vector<vertex_id> cover;
+  Random rng(opts.seed);
+  uint64_t round = 0;
+  for (;;) {
+    auto bkt = buckets.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    ++round;
+    const auto& sets = bkt.vertices;
+    // Threshold degree for this bucket: (1+eps)^(id-1).
+    const double bucket_floor = std::pow(1.0 + opts.eps,
+                                         static_cast<double>(bkt.id) - 1.0);
+    // 1. Pack away covered elements; compute current uncovered degrees.
+    std::vector<uint64_t> degs(sets.size());
+    parallel_for(0, sets.size(), [&](size_t i) {
+      gf.PackVertex(sets[i], [&](vertex_id, vertex_id e) {
+        return covered[e].load(std::memory_order_relaxed) == 0;
+      });
+      degs[i] = gf.degree_uncharged(sets[i]);
+    });
+    // 2. Sets still at bucket strength bid for their elements.
+    parallel_for(0, sets.size(), [&](size_t i) {
+      if (static_cast<double>(degs[i]) < bucket_floor) return;
+      vertex_id s = sets[i];
+      uint64_t key = (Hash64(opts.seed ^ (round << 32) ^ s) << 32) |
+                     uint64_t{s};
+      gf.MapActive(s, [&](vertex_id, vertex_id e) {
+        internal::WriteMin(&bid[e], key);
+      });
+    });
+    // 3. Count wins; strong winners enter the cover and mark elements.
+    std::vector<std::pair<vertex_id, bucket_id>> rebucket;
+    std::vector<std::vector<vertex_id>> chosen(Scheduler::kMaxWorkers);
+    std::vector<uint8_t> won(sets.size(), 0);
+    parallel_for(0, sets.size(), [&](size_t i) {
+      vertex_id s = sets[i];
+      if (static_cast<double>(degs[i]) < bucket_floor) return;
+      uint64_t key = (Hash64(opts.seed ^ (round << 32) ^ s) << 32) |
+                     uint64_t{s};
+      uint64_t wins = 0;
+      gf.MapActive(s, [&](vertex_id, vertex_id e) {
+        wins += bid[e].load(std::memory_order_relaxed) == key ? 1 : 0;
+      });
+      if (static_cast<double>(wins) >= bucket_floor / 2.0 && wins > 0) {
+        won[i] = 1;
+        chosen[worker_id()].push_back(s);
+        gf.MapActive(s, [&](vertex_id, vertex_id e) {
+          if (bid[e].load(std::memory_order_relaxed) == key) {
+            covered[e].store(1, std::memory_order_relaxed);
+          }
+        });
+      }
+    });
+    for (auto& c : chosen) cover.insert(cover.end(), c.begin(), c.end());
+    // 4. Reset bids touched this round and re-bucket the losers.
+    parallel_for(0, sets.size(), [&](size_t i) {
+      gf.MapActive(sets[i], [&](vertex_id, vertex_id e) {
+        bid[e].store(kFreeBid, std::memory_order_relaxed);
+      });
+    });
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (won[i]) continue;
+      // Re-pack to the post-round uncovered degree before re-bucketing.
+      gf.PackVertex(sets[i], [&](vertex_id, vertex_id e) {
+        return covered[e].load(std::memory_order_relaxed) == 0;
+      });
+      bucket_id nb = bucket_of_degree(gf.degree_uncharged(sets[i]));
+      if (nb != kNullBucket) rebucket.push_back({sets[i], nb});
+    }
+    buckets.UpdateBuckets(rebucket);
+  }
+  return cover;
+}
+
+}  // namespace sage

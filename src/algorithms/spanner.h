@@ -1,0 +1,83 @@
+// O(k)-spanner construction of Miller, Peng, Vladu, and Xu [69]
+// (Section 4.3.1): run LDD with beta = log n / (2k); the spanner consists
+// of the cluster BFS-tree edges plus one edge between every pair of
+// adjacent clusters. Size O(n^{1 + 1/k}); with k = ceil(log2 n) (the
+// paper's experimental setting) the spanner has O(n) edges. PSAM: O(m)
+// expected work, O(k log n) depth whp.
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "algorithms/ldd.h"
+#include "graph/types.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+
+namespace sage {
+
+/// Options for Spanner.
+struct SpannerOptions {
+  /// Stretch parameter; 0 = use ceil(log2 n) as in the paper.
+  uint32_t k = 0;
+  uint64_t seed = 1;
+  EdgeMapOptions edge_map;
+};
+
+/// Returns the spanner's edge set H (undirected; one direction per edge).
+template <typename GraphT>
+std::vector<std::pair<vertex_id, vertex_id>> Spanner(
+    const GraphT& g, const SpannerOptions& opts = SpannerOptions{}) {
+  const vertex_id n = g.num_vertices();
+  uint32_t k = opts.k;
+  if (k == 0) {
+    k = 1;
+    while ((vertex_id{1} << k) < n) ++k;  // ceil(log2 n)
+  }
+  double beta = std::log(std::max<double>(n, 2)) / (2.0 * k);
+  if (beta > 1.0) beta = 1.0;
+  LddResult ldd =
+      LowDiameterDecomposition(g, beta, opts.seed, opts.edge_map);
+
+  // Tree edges of every cluster.
+  auto tree_vertices = pack_index<vertex_id>(
+      n, [&](size_t v) { return ldd.parent[v] != kNoVertex; });
+  std::vector<std::pair<vertex_id, vertex_id>> out(tree_vertices.size());
+  parallel_for(0, tree_vertices.size(), [&](size_t i) {
+    vertex_id v = tree_vertices[i];
+    out[i] = {ldd.parent[v], v};
+  });
+
+  // One representative edge per adjacent cluster pair: gather inter-cluster
+  // edges keyed by (cluster_u, cluster_v), sort, keep the first per key.
+  struct InterEdge {
+    vertex_id cu, cv, u, v;
+  };
+  std::vector<std::vector<InterEdge>> local(Scheduler::kMaxWorkers);
+  parallel_for(0, n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    vertex_id cv = ldd.cluster[v];
+    g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
+      vertex_id cu = ldd.cluster[u];
+      if (cv < cu) local[worker_id()].push_back({cv, cu, v, u});
+    });
+  });
+  std::vector<InterEdge> inter = flatten(local);
+  parallel_sort_inplace(inter, [](const InterEdge& a, const InterEdge& b) {
+    return a.cu != b.cu ? a.cu < b.cu : a.cv < b.cv;
+  });
+  auto keep = pack_index<size_t>(inter.size(), [&](size_t i) {
+    return i == 0 || inter[i].cu != inter[i - 1].cu ||
+           inter[i].cv != inter[i - 1].cv;
+  });
+  size_t base = out.size();
+  out.resize(base + keep.size());
+  parallel_for(0, keep.size(), [&](size_t i) {
+    out[base + i] = {inter[keep[i]].u, inter[keep[i]].v};
+  });
+  return out;
+}
+
+}  // namespace sage

@@ -1,0 +1,61 @@
+// Minimal leveled logging to stderr. Benchmarks print results to stdout;
+// everything diagnostic goes through here so it can be silenced.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sage {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+inline LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+}  // namespace internal
+
+/// Sets the minimum level that will be emitted.
+inline void SetLogLevel(LogLevel level) { internal::MinLogLevel() = level; }
+
+inline void LogV(LogLevel level, const char* fmt, va_list args) {
+  if (level < internal::MinLogLevel()) return;
+  const char* tag = "INFO";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarning:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+  }
+  std::fprintf(stderr, "[sage %s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fprintf(stderr, "\n");
+}
+
+#define SAGE_DEFINE_LOG_FN(Name, Level)                 \
+  inline void Name(const char* fmt, ...)                \
+      __attribute__((format(printf, 1, 2)));            \
+  inline void Name(const char* fmt, ...) {              \
+    va_list args;                                       \
+    va_start(args, fmt);                                \
+    ::sage::LogV(Level, fmt, args);                     \
+    va_end(args);                                       \
+  }
+
+SAGE_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug)
+SAGE_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo)
+SAGE_DEFINE_LOG_FN(LogWarning, LogLevel::kWarning)
+SAGE_DEFINE_LOG_FN(LogError, LogLevel::kError)
+
+#undef SAGE_DEFINE_LOG_FN
+
+}  // namespace sage

@@ -1,0 +1,56 @@
+// Core macros used throughout Sage: invariant checks, branch hints, and
+// platform helpers. Checks abort with a diagnostic rather than throwing:
+// hot-path code in the engine is exception-free (recoverable errors use
+// sage::Status instead; see status.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SAGE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SAGE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// these guard data-structure invariants whose violation would silently
+/// corrupt results (the Google-style CHECK, not assert).
+#define SAGE_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (SAGE_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "SAGE_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// SAGE_CHECK with a printf-style explanation.
+#define SAGE_CHECK_MSG(cond, ...)                                            \
+  do {                                                                       \
+    if (SAGE_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "SAGE_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only check; compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define SAGE_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define SAGE_DCHECK(cond) SAGE_CHECK(cond)
+#endif
+
+/// Marks a class as neither copyable nor movable.
+#define SAGE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+namespace sage {
+
+/// Cache line size used to pad per-thread counters against false sharing.
+inline constexpr int kCacheLineBytes = 64;
+
+}  // namespace sage

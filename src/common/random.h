@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation. All randomized algorithms
+// in Sage draw from these generators so results are reproducible for a fixed
+// seed across runs and thread counts (each position is hashed independently,
+// ParlayLib-style, instead of consuming a shared stream).
+#pragma once
+
+#include <cstdint>
+
+namespace sage {
+
+/// splitmix64 finalizer: a high-quality 64-bit mixing function.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless random source: `r.ith_rand(i)` is a pure function of
+/// (seed, i), so parallel loops can draw independent values per index
+/// without synchronization.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0) : seed_(seed) {}
+
+  /// The i-th pseudo-random 64-bit value of this stream.
+  uint64_t ith_rand(uint64_t i) const { return Hash64(seed_ + i); }
+
+  /// A new independent stream (used for per-round re-randomization).
+  Random fork(uint64_t salt) const { return Random(Hash64(seed_ ^ salt)); }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Small stateful PRNG (xorshift128+) for sequential generators where a
+/// stream is more convenient than indexed hashing.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) {
+    s0_ = Hash64(seed);
+    s1_ = Hash64(seed + 0x9e3779b97f4a7c15ULL);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Next(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace sage

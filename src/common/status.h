@@ -1,0 +1,146 @@
+// Status / Result error handling for recoverable failures (I/O, parsing,
+// construction from user input). Mirrors the Arrow/RocksDB convention:
+// functions that can fail return Status or Result<T>; hot-path engine code
+// never throws.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace sage {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Lightweight status object: OK or (code, message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Use ValueOrDie() only in
+/// tests/examples; library code propagates with SAGE_RETURN_IF_ERROR.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : value_(std::move(status)) {          // NOLINT
+    SAGE_CHECK_MSG(!this->status().ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  /// Returns the error status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+  /// Returns the value; aborts if this holds an error.
+  T& ValueOrDie() {
+    SAGE_CHECK_MSG(ok(), "Result::ValueOrDie on error: %s",
+                   status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  const T& ValueOrDie() const {
+    SAGE_CHECK_MSG(ok(), "Result::ValueOrDie on error: %s",
+                   status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  /// Moves the value out; aborts if this holds an error.
+  T TakeValue() {
+    SAGE_CHECK(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SAGE_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::sage::Status _st = (expr);                \
+    if (SAGE_UNLIKELY(!_st.ok())) return _st;   \
+  } while (0)
+
+}  // namespace sage

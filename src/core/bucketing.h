@@ -1,0 +1,213 @@
+// Bucketing structure from Julienne [36], adapted to the PSAM with
+// semi-eager deletion (Appendix B of the paper).
+//
+// Maintains a dynamic map from vertices to integer buckets and yields
+// buckets in priority order (increasing for wBFS / k-core / densest
+// subgraph, decreasing for approximate set cover). The practical variant
+// keeps a window of open buckets plus one overflow bucket.
+//
+// PSAM compliance: Julienne's fully lazy deletion can leave O(#updates) =
+// O(m) stale entries resident. Here every vertex records its current bucket
+// (O(n) words), stale entries are filtered at extraction, and whenever the
+// stored entries exceed a constant multiple of n the structure compacts
+// (semi-eager packing), bounding resident DRAM to O(n) words.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "graph/types.h"
+#include "nvram/cost_model.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+/// Identifier of a bucket.
+using bucket_id = uint32_t;
+
+/// "Not in any bucket" (removed / finished vertices).
+inline constexpr bucket_id kNullBucket =
+    std::numeric_limits<bucket_id>::max();
+
+/// Priority order in which NextBucket yields buckets.
+enum class BucketOrder { kIncreasing, kDecreasing };
+
+/// Dynamic vertex bucketing with priority-ordered extraction.
+class Buckets {
+ public:
+  /// Creates the structure over vertices [0, n). `d(v)` gives the initial
+  /// bucket of v (kNullBucket to leave v out). For kDecreasing order,
+  /// `max_bucket` must upper-bound every bucket id ever inserted.
+  template <typename D>
+  Buckets(vertex_id n, const D& d, BucketOrder order,
+          bucket_id max_bucket = 0, size_t num_open = 128)
+      : order_(order),
+        max_bucket_(max_bucket),
+        num_open_(num_open),
+        vtx_bucket_(n, kNullBucket),
+        open_(num_open),
+        tracked_(n * sizeof(bucket_id)) {
+    if (order_ == BucketOrder::kDecreasing) SAGE_CHECK(max_bucket_ > 0);
+    for (vertex_id v = 0; v < n; ++v) {
+      bucket_id b = d(v);
+      if (b == kNullBucket) continue;
+      vtx_bucket_[v] = b;
+      Insert(v, Key(b));
+    }
+    nvram::CostModel::Get().ChargeWorkWrite(n);
+  }
+
+  /// The bucket extracted by NextBucket.
+  struct Bucket {
+    bucket_id id = kNullBucket;          // kNullBucket when exhausted
+    std::vector<vertex_id> vertices;     // live members, removed from the
+                                         // structure
+  };
+
+  /// Extracts the next non-empty bucket in priority order. Members are
+  /// de-duplicated against staleness and marked removed. Returns
+  /// id == kNullBucket when no vertices remain.
+  Bucket NextBucket() {
+    for (;;) {
+      while (cur_offset_ < num_open_) {
+        auto& vec = open_[cur_offset_];
+        if (!vec.empty()) {
+          bucket_id key = cur_base_ + static_cast<bucket_id>(cur_offset_);
+          std::vector<vertex_id> raw = std::move(vec);
+          vec.clear();
+          stored_ -= raw.size();
+          bucket_id id = Unkey(key);
+          auto live = filter(raw, [&](vertex_id v) {
+            return vtx_bucket_[v] != kNullBucket &&
+                   Key(vtx_bucket_[v]) == key;
+          });
+          if (live.empty()) continue;  // all stale; keep scanning
+          for (vertex_id v : live) vtx_bucket_[v] = kNullBucket;
+          nvram::CostModel::Get().ChargeWorkRead(raw.size());
+          nvram::CostModel::Get().ChargeWorkWrite(live.size());
+          return Bucket{id, std::move(live)};
+        }
+        ++cur_offset_;
+      }
+      // Open window exhausted: refill from overflow.
+      if (!RefillFromOverflow()) return Bucket{};
+    }
+  }
+
+  /// Returns the bucket v currently belongs to (kNullBucket if none).
+  bucket_id BucketOf(vertex_id v) const { return vtx_bucket_[v]; }
+
+  /// Moves each (vertex, bucket) to its new bucket. A target below the
+  /// current priority is clamped to the current bucket window (matching
+  /// Julienne: priorities only advance). kNullBucket removes the vertex.
+  void UpdateBuckets(
+      const std::vector<std::pair<vertex_id, bucket_id>>& updates) {
+    for (auto [v, b] : updates) {
+      if (vtx_bucket_[v] == kNullBucket && b == kNullBucket) continue;
+      if (b == kNullBucket) {
+        vtx_bucket_[v] = kNullBucket;  // lazy removal
+        continue;
+      }
+      bucket_id key = Key(b);
+      bucket_id floor_key = cur_base_ + static_cast<bucket_id>(cur_offset_);
+      if (key < floor_key) {
+        key = floor_key;
+        b = Unkey(key);
+      }
+      if (vtx_bucket_[v] != kNullBucket && Key(vtx_bucket_[v]) == key) {
+        continue;  // already there
+      }
+      vtx_bucket_[v] = b;
+      Insert(v, key);
+    }
+    nvram::CostModel::Get().ChargeWorkWrite(updates.size());
+    MaybeCompact();
+  }
+
+  /// Total entries currently stored (live + stale), for memory tests.
+  size_t StoredEntries() const { return stored_; }
+
+ private:
+  /// Internal key: increasing order uses b directly; decreasing order
+  /// reverses around max_bucket_ so smaller keys = higher priority.
+  bucket_id Key(bucket_id b) const {
+    if (order_ == BucketOrder::kIncreasing) return b;
+    SAGE_DCHECK(b <= max_bucket_);
+    return max_bucket_ - b;
+  }
+  bucket_id Unkey(bucket_id key) const {
+    return order_ == BucketOrder::kIncreasing ? key : max_bucket_ - key;
+  }
+
+  void Insert(vertex_id v, bucket_id key) {
+    if (key < cur_base_ ||
+        key - cur_base_ >= static_cast<bucket_id>(num_open_)) {
+      overflow_.push_back(v);
+    } else {
+      open_[key - cur_base_].push_back(v);
+    }
+    ++stored_;
+  }
+
+  /// Rebuilds the open window from overflow entries. Returns false when the
+  /// structure is exhausted.
+  bool RefillFromOverflow() {
+    auto live = filter(overflow_, [&](vertex_id v) {
+      return vtx_bucket_[v] != kNullBucket;
+    });
+    stored_ -= overflow_.size();
+    overflow_.clear();
+    if (live.empty()) return false;
+    bucket_id min_key = reduce(
+        live.size(), [&](size_t i) { return Key(vtx_bucket_[live[i]]); },
+        [](bucket_id a, bucket_id b) { return a < b ? a : b; }, kNullBucket);
+    cur_base_ = min_key;
+    cur_offset_ = 0;
+    for (vertex_id v : live) Insert(v, Key(vtx_bucket_[v]));
+    nvram::CostModel::Get().ChargeWorkWrite(live.size());
+    return true;
+  }
+
+  /// Semi-eager packing: when stored entries exceed 2n, drop stale entries
+  /// from every bucket, restoring the O(n) bound.
+  void MaybeCompact() {
+    size_t n = vtx_bucket_.size();
+    if (stored_ <= 2 * n) return;
+    size_t new_stored = 0;
+    for (size_t k = 0; k < num_open_; ++k) {
+      bucket_id key = cur_base_ + static_cast<bucket_id>(k);
+      open_[k] = filter(open_[k], [&](vertex_id v) {
+        return vtx_bucket_[v] != kNullBucket && Key(vtx_bucket_[v]) == key;
+      });
+      new_stored += open_[k].size();
+    }
+    overflow_ = filter(overflow_, [&](vertex_id v) {
+      bucket_id b = vtx_bucket_[v];
+      if (b == kNullBucket) return false;
+      bucket_id key = Key(b);
+      return key < cur_base_ ||
+             key - cur_base_ >= static_cast<bucket_id>(num_open_);
+    });
+    new_stored += overflow_.size();
+    nvram::CostModel::Get().ChargeWorkWrite(new_stored);
+    stored_ = new_stored;
+  }
+
+  BucketOrder order_;
+  bucket_id max_bucket_;
+  size_t num_open_;
+  bucket_id cur_base_ = 0;   // key of open_[0]
+  size_t cur_offset_ = 0;    // first possibly non-empty open bucket
+  size_t stored_ = 0;
+  std::vector<bucket_id> vtx_bucket_;
+  std::vector<std::vector<vertex_id>> open_;
+  std::vector<vertex_id> overflow_;
+  nvram::TrackedAllocation tracked_;
+};
+
+}  // namespace sage

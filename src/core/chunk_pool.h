@@ -1,0 +1,93 @@
+// Pool-based thread-local chunk allocator for edgeMapChunked (Section 4.1,
+// Algorithm 1, line 3 of the paper: "chunk allocations are done using a
+// pool-based thread-local allocator").
+//
+// Chunks are fixed-capacity vertex-id buffers. Each worker keeps a free
+// list; allocation reuses a free chunk or mints a new one. Release returns
+// the chunk to the *releasing* worker's list, so steady-state traversals
+// allocate nothing. Total live chunks are bounded by the number of groups
+// (O(P)) plus pool residue, keeping edgeMapChunked within O(n) words.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "graph/types.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/scheduler.h"
+
+namespace sage {
+
+/// A fixed-capacity output buffer of vertex ids.
+struct Chunk {
+  explicit Chunk(size_t capacity) : data(capacity) {}
+  std::vector<vertex_id> data;
+  size_t size = 0;
+
+  size_t capacity() const { return data.size(); }
+  bool Fits(size_t k) const { return size + k <= data.size(); }
+  void Push(vertex_id v) {
+    SAGE_DCHECK(size < data.size());
+    data[size++] = v;
+  }
+};
+
+/// Per-worker pools of chunks of one capacity.
+class ChunkPool {
+ public:
+  /// Returns the process-wide pool, resizing chunks to `capacity` (pools are
+  /// dropped if the requested capacity changes; capacity is a per-traversal
+  /// constant derived from the graph's average degree).
+  static ChunkPool& Get(size_t capacity) {
+    static ChunkPool pool;
+    if (pool.capacity_ != capacity) pool.Reconfigure(capacity);
+    return pool;
+  }
+
+  /// Takes a chunk from the calling worker's free list (or mints one).
+  std::unique_ptr<Chunk> Alloc() {
+    auto& fl = free_lists_[Scheduler::worker_id()].chunks;
+    if (!fl.empty()) {
+      auto chunk = std::move(fl.back());
+      fl.pop_back();
+      chunk->size = 0;
+      return chunk;
+    }
+    nvram::MemoryTracker::Get().Allocate(capacity_ * sizeof(vertex_id));
+    return std::make_unique<Chunk>(capacity_);
+  }
+
+  /// Returns a chunk to the calling worker's free list.
+  void Release(std::unique_ptr<Chunk> chunk) {
+    free_lists_[Scheduler::worker_id()].chunks.push_back(std::move(chunk));
+  }
+
+  /// Frees all pooled chunks (between experiments, to reset the tracker).
+  void Drain() {
+    for (auto& fl : free_lists_) {
+      nvram::MemoryTracker::Get().Free(fl.chunks.size() * capacity_ *
+                                       sizeof(vertex_id));
+      fl.chunks.clear();
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(kCacheLineBytes) FreeList {
+    std::vector<std::unique_ptr<Chunk>> chunks;
+  };
+
+  ChunkPool() = default;
+
+  void Reconfigure(size_t capacity) {
+    Drain();
+    capacity_ = capacity;
+  }
+
+  size_t capacity_ = 0;
+  FreeList free_lists_[Scheduler::kMaxWorkers];
+};
+
+}  // namespace sage

@@ -1,0 +1,121 @@
+// Histogram primitive (Section 4.3.4): counts key occurrences, used to
+// aggregate degree updates in k-core and approximate densest subgraph
+// without fetch-and-add contention.
+//
+// Two modes, as in the paper:
+//  - sparse: sort the gathered keys and count run lengths. Memory is
+//    proportional to the number of keys (the caller only uses this when the
+//    frontier's incident edge count is below a threshold t = m/c).
+//  - dense: when the frontier is large, iterate over *all* vertices and
+//    count their neighbors in the frontier (O(m) work, O(n) memory). This
+//    is the "dense histogram" optimization described for k-core.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/vertex_subset.h"
+#include "graph/types.h"
+#include "nvram/cost_model.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+
+namespace sage {
+
+/// Sparse histogram: (key, count) for every distinct key, sorted by key.
+inline std::vector<std::pair<vertex_id, uint32_t>> HistogramKeys(
+    std::vector<vertex_id> keys) {
+  if (keys.empty()) return {};
+  nvram::CostModel::Get().ChargeWorkRead(keys.size());
+  parallel_sort_inplace(keys);
+  auto bounds = group_boundaries_sorted(keys);
+  size_t groups = bounds.size() - 1;
+  auto out = tabulate<std::pair<vertex_id, uint32_t>>(groups, [&](size_t i) {
+    return std::make_pair(keys[bounds[i]],
+                          static_cast<uint32_t>(bounds[i + 1] - bounds[i]));
+  });
+  nvram::CostModel::Get().ChargeWorkWrite(out.size());
+  return out;
+}
+
+/// Gathers, for each member u of `frontier`, the neighbors v of u with
+/// pred(v), and histograms them: the result counts, per vertex v, how many
+/// frontier neighbors it has. Sparse path; O(sum deg(frontier)) transient.
+template <typename GraphT, typename Pred>
+std::vector<std::pair<vertex_id, uint32_t>> SparseNeighborHistogram(
+    const GraphT& g, const VertexSubset& frontier, const Pred& pred) {
+  SAGE_DCHECK(!frontier.is_dense());
+  const auto& ids = frontier.ids();
+  std::vector<uint64_t> offs(ids.size());
+  parallel_for(0, ids.size(),
+               [&](size_t i) { offs[i] = g.degree_uncharged(ids[i]); });
+  uint64_t total = scan_add_inplace(offs);
+  std::vector<vertex_id> keys(total);
+  parallel_for(0, ids.size(), [&](size_t i) {
+    uint64_t j = offs[i];
+    g.MapNeighbors(ids[i], [&](vertex_id, vertex_id v, weight_t) {
+      keys[j++] = pred(v) ? v : kNoVertex;
+    });
+  });
+  auto live = filter(keys, [](vertex_id v) { return v != kNoVertex; });
+  return HistogramKeys(std::move(live));
+}
+
+/// Dense histogram: for every vertex v with pred(v), counts v's neighbors
+/// inside the (dense) frontier. Returns only the non-zero (v, count) pairs.
+/// O(n + m) work, O(n) words of memory.
+template <typename GraphT, typename Pred>
+std::vector<std::pair<vertex_id, uint32_t>> DenseNeighborHistogram(
+    const GraphT& g, const VertexSubset& frontier, const Pred& pred) {
+  SAGE_DCHECK(frontier.is_dense());
+  const vertex_id n = g.num_vertices();
+  const auto& flags = frontier.flags();
+  std::vector<uint32_t> counts(n, 0);
+  parallel_for(0, n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    if (!pred(v)) return;
+    uint32_t c = 0;
+    g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
+      c += flags[u] ? 1 : 0;
+    });
+    counts[vi] = c;
+    nvram::CostModel::Get().ChargeWorkRead(g.degree_uncharged(v));
+  });
+  nvram::CostModel::Get().ChargeWorkWrite(n / 2);
+  auto idx =
+      pack_index<vertex_id>(n, [&](size_t v) { return counts[v] > 0; });
+  return tabulate<std::pair<vertex_id, uint32_t>>(idx.size(), [&](size_t i) {
+    return std::make_pair(idx[i], counts[idx[i]]);
+  });
+}
+
+/// Direction-optimizing neighbor histogram: picks the sparse or dense path
+/// based on the frontier's incident edge count vs. threshold m/c (the
+/// paper's t = m/c with a default c of 20). May densify/sparsify `frontier`.
+template <typename GraphT, typename Pred>
+std::vector<std::pair<vertex_id, uint32_t>> NeighborHistogram(
+    const GraphT& g, VertexSubset& frontier, const Pred& pred,
+    size_t threshold_den = 20) {
+  if (frontier.IsEmpty()) return {};
+  uint64_t deg;
+  if (frontier.is_dense()) {
+    const auto& flags = frontier.flags();
+    deg = reduce_add<uint64_t>(frontier.num_total(), [&](size_t v) {
+      return flags[v] ? g.degree(static_cast<vertex_id>(v)) : 0;
+    });
+  } else {
+    const auto& ids = frontier.ids();
+    deg = reduce_add<uint64_t>(ids.size(),
+                               [&](size_t i) { return g.degree(ids[i]); });
+  }
+  uint64_t threshold = g.num_edges() / threshold_den;
+  if (deg + frontier.size() > std::max<uint64_t>(threshold, 1)) {
+    frontier.ToDense();
+    return DenseNeighborHistogram(g, frontier, pred);
+  }
+  frontier.ToSparse();
+  return SparseNeighborHistogram(g, frontier, pred);
+}
+
+}  // namespace sage

@@ -1,0 +1,30 @@
+// Umbrella header for the Sage engine: include this to use the full
+// semi-asymmetric toolkit (graphs, traversal, filtering, bucketing).
+//
+//   #include "core/sage.h"
+//
+//   sage::Graph g = sage::RmatGraph(20, 1 << 24, /*seed=*/1);
+//   auto parents = sage::Bfs(g, /*source=*/0);
+//
+// See README.md for a tour and examples/ for runnable programs.
+#pragma once
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/bucketing.h"
+#include "core/edge_map.h"
+#include "core/graph_filter.h"
+#include "core/histogram.h"
+#include "core/vertex_subset.h"
+#include "graph/builder.h"
+#include "graph/compressed_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "nvram/cost_model.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+#include "parallel/sort.h"

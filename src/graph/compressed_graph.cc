@@ -1,0 +1,85 @@
+#include "graph/compressed_graph.h"
+
+#include <algorithm>
+
+#include "parallel/primitives.h"
+
+namespace sage {
+
+CompressedGraph CompressedGraph::FromGraph(const Graph& g,
+                                           uint32_t block_size) {
+  SAGE_CHECK(block_size >= 1 && block_size <= kMaxBlockSize);
+  const vertex_id n = g.num_vertices();
+  CompressedGraph cg;
+  cg.block_size_ = block_size;
+  cg.symmetric_ = g.symmetric();
+  cg.weighted_ = g.weighted();
+  cg.num_edges_ = g.num_edges();
+  cg.degrees_ = tabulate<vertex_id>(
+      n, [&](size_t v) {
+        return g.degree_uncharged(static_cast<vertex_id>(v));
+      });
+
+  // Block index structure.
+  std::vector<uint64_t> blocks_per_vertex(n);
+  parallel_for(0, n, [&](size_t v) {
+    blocks_per_vertex[v] =
+        (static_cast<uint64_t>(cg.degrees_[v]) + block_size - 1) / block_size;
+  });
+  uint64_t total_blocks = scan_add_inplace(blocks_per_vertex);
+  cg.first_block_.resize(n + 1);
+  parallel_for(0, n, [&](size_t v) { cg.first_block_[v] = blocks_per_vertex[v]; });
+  cg.first_block_[n] = total_blocks;
+
+  // Encode each vertex independently into a scratch buffer; adjacency lists
+  // must be sorted ascending for delta codes, so sort a copy per vertex.
+  std::vector<std::vector<uint8_t>> per_vertex(n);
+  std::vector<std::vector<uint64_t>> per_vertex_block_sizes(n);
+  parallel_for(0, n, [&](size_t vi) {
+    vertex_id v = static_cast<vertex_id>(vi);
+    vertex_id d = cg.degrees_[v];
+    if (d == 0) return;
+    auto nbrs = g.NeighborsUncharged(v);
+    std::vector<std::pair<vertex_id, weight_t>> sorted(d);
+    for (vertex_id i = 0; i < d; ++i) {
+      sorted[i] = {nbrs[i], g.weight_at(v, i)};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    auto& out = per_vertex[vi];
+    auto& bsizes = per_vertex_block_sizes[vi];
+    for (vertex_id start = 0; start < d; start += block_size) {
+      size_t before = out.size();
+      vertex_id end = std::min<vertex_id>(d, start + block_size);
+      int64_t delta = static_cast<int64_t>(sorted[start].first) -
+                      static_cast<int64_t>(v);
+      VarintEncode(ZigzagEncode(delta), out);
+      if (cg.weighted_) VarintEncode(sorted[start].second, out);
+      for (vertex_id i = start + 1; i < end; ++i) {
+        VarintEncode(sorted[i].first - sorted[i - 1].first, out);
+        if (cg.weighted_) VarintEncode(sorted[i].second, out);
+      }
+      bsizes.push_back(out.size() - before);
+    }
+  });
+
+  // Lay blocks out contiguously.
+  std::vector<uint64_t> vertex_bytes(n);
+  parallel_for(0, n, [&](size_t v) { vertex_bytes[v] = per_vertex[v].size(); });
+  uint64_t total_bytes = scan_add_inplace(vertex_bytes);
+  cg.bytes_.resize(total_bytes);
+  cg.block_bytes_offset_.assign(total_blocks + 1, 0);
+  parallel_for(0, n, [&](size_t vi) {
+    std::copy(per_vertex[vi].begin(), per_vertex[vi].end(),
+              cg.bytes_.begin() + vertex_bytes[vi]);
+    uint64_t byte_off = vertex_bytes[vi];
+    uint64_t blk = cg.first_block_[vi];
+    for (uint64_t bs : per_vertex_block_sizes[vi]) {
+      cg.block_bytes_offset_[blk++] = byte_off;
+      byte_off += bs;
+    }
+  });
+  cg.block_bytes_offset_[total_blocks] = total_bytes;
+  return cg;
+}
+
+}  // namespace sage

@@ -1,0 +1,123 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "graph/builder.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+Graph UniformRandomGraph(vertex_id n, uint64_t num_directed_edges,
+                         uint64_t seed) {
+  SAGE_CHECK(n >= 2);
+  Random rng(seed);
+  auto edges = tabulate<WeightedEdge>(num_directed_edges, [&](size_t i) {
+    uint64_t r = rng.ith_rand(2 * i);
+    uint64_t s = rng.ith_rand(2 * i + 1);
+    return WeightedEdge{static_cast<vertex_id>(r % n),
+                        static_cast<vertex_id>(s % n), 1};
+  });
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph RmatGraph(int log_n, uint64_t num_directed_edges, uint64_t seed,
+                double a, double b, double c) {
+  SAGE_CHECK(log_n >= 1 && log_n < 31);
+  const vertex_id n = vertex_id{1} << log_n;
+  const double ab = a + b;
+  const double abc = a + b + c;
+  SAGE_CHECK_MSG(abc < 1.0, "RMAT quadrant probabilities must sum below 1");
+  Random rng(seed);
+  auto edges = tabulate<WeightedEdge>(num_directed_edges, [&](size_t i) {
+    vertex_id u = 0, v = 0;
+    // One hashed double per level, derived from (edge index, level).
+    for (int level = 0; level < log_n; ++level) {
+      uint64_t h = rng.ith_rand(i * 64 + static_cast<uint64_t>(level));
+      double p = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      vertex_id bit = vertex_id{1} << (log_n - 1 - level);
+      if (p < a) {
+        // top-left: no bits set
+      } else if (p < ab) {
+        v |= bit;
+      } else if (p < abc) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    return WeightedEdge{u, v, 1};
+  });
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph GridGraph(vertex_id rows, vertex_id cols) {
+  SAGE_CHECK(rows >= 1 && cols >= 1);
+  const uint64_t n = static_cast<uint64_t>(rows) * cols;
+  SAGE_CHECK(n < kNoVertex);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(2 * n);
+  for (vertex_id r = 0; r < rows; ++r) {
+    for (vertex_id col = 0; col < cols; ++col) {
+      vertex_id v = r * cols + col;
+      if (col + 1 < cols) edges.push_back({v, v + 1, 1});
+      if (r + 1 < rows) edges.push_back({v, v + cols, 1});
+    }
+  }
+  return GraphBuilder::FromEdges(static_cast<vertex_id>(n), std::move(edges));
+}
+
+Graph StarGraph(vertex_id n) {
+  SAGE_CHECK(n >= 2);
+  auto edges = tabulate<WeightedEdge>(
+      n - 1, [](size_t i) {
+        return WeightedEdge{0, static_cast<vertex_id>(i + 1), 1};
+      });
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph PathGraph(vertex_id n) {
+  SAGE_CHECK(n >= 2);
+  auto edges = tabulate<WeightedEdge>(n - 1, [](size_t i) {
+    return WeightedEdge{static_cast<vertex_id>(i),
+                        static_cast<vertex_id>(i + 1), 1};
+  });
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph CycleGraph(vertex_id n) {
+  SAGE_CHECK(n >= 3);
+  auto edges = tabulate<WeightedEdge>(n, [n](size_t i) {
+    return WeightedEdge{static_cast<vertex_id>(i),
+                        static_cast<vertex_id>((i + 1) % n), 1};
+  });
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph CompleteGraph(vertex_id n) {
+  SAGE_CHECK(n >= 2 && n <= 4096);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (vertex_id u = 0; u < n; ++u) {
+    for (vertex_id v = u + 1; v < n; ++v) edges.push_back({u, v, 1});
+  }
+  return GraphBuilder::FromEdges(n, std::move(edges));
+}
+
+Graph DisjointCliques(vertex_id num_components, vertex_id clique_size) {
+  SAGE_CHECK(num_components >= 1 && clique_size >= 2);
+  std::vector<WeightedEdge> edges;
+  for (vertex_id comp = 0; comp < num_components; ++comp) {
+    vertex_id base = comp * clique_size;
+    for (vertex_id i = 0; i < clique_size; ++i) {
+      for (vertex_id j = i + 1; j < clique_size; ++j) {
+        edges.push_back({base + i, base + j, 1});
+      }
+    }
+  }
+  return GraphBuilder::FromEdges(num_components * clique_size,
+                                 std::move(edges));
+}
+
+}  // namespace sage

@@ -1,0 +1,46 @@
+// Synthetic graph generators. These stand in for the paper's datasets
+// (Table 2): RMAT approximates the power-law web/social graphs (ClueWeb,
+// Hyperlink, Twitter, Orkut, LiveJournal), and the structured families
+// (grid, star, path, complete, cycle) exercise edge cases in tests.
+// All generators are deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace sage {
+
+/// Erdos-Renyi-style graph: `num_directed_edges` uniform random pairs
+/// (self-loops and duplicates removed), then symmetrized.
+Graph UniformRandomGraph(vertex_id n, uint64_t num_directed_edges,
+                         uint64_t seed);
+
+/// RMAT / Graph500-style power-law graph on 2^log_n vertices with
+/// `num_directed_edges` samples (a=0.5, b=c=0.1, d=0.3 by default),
+/// symmetrized. Produces the skewed degree distributions of web graphs.
+Graph RmatGraph(int log_n, uint64_t num_directed_edges, uint64_t seed,
+                double a = 0.5, double b = 0.1, double c = 0.1);
+
+/// rows x cols 2-D grid (4-neighbor), symmetric. Large diameter; exercises
+/// many-round traversals.
+Graph GridGraph(vertex_id rows, vertex_id cols);
+
+/// Star: vertex 0 adjacent to all others. Maximum degree skew.
+Graph StarGraph(vertex_id n);
+
+/// Simple path 0-1-...-(n-1). Diameter n-1.
+Graph PathGraph(vertex_id n);
+
+/// Cycle on n vertices.
+Graph CycleGraph(vertex_id n);
+
+/// Complete graph K_n (use small n).
+Graph CompleteGraph(vertex_id n);
+
+/// Graph with `num_components` disjoint cliques of size `clique_size`
+/// (for connectivity/spanning-forest tests).
+Graph DisjointCliques(vertex_id num_components, vertex_id clique_size);
+
+}  // namespace sage

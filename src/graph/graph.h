@@ -1,0 +1,213 @@
+// The uncompressed CSR graph: Sage's NVRAM-resident, read-only input.
+//
+// The semi-asymmetric discipline is enforced two ways:
+//  1. statically - algorithms receive `const Graph&` and there is no public
+//     mutation API at all (the only mutating structure in the repository is
+//     baselines::PackedGraph, which models GBBS's in-place filtering);
+//  2. dynamically - every accessor charges the PSAM cost model as a *graph
+//     region* access, so tests and benchmarks can audit that Sage performs
+//     zero NVRAM writes while baselines pay omega per write.
+//
+// Accessors charge at neighborhood granularity (one charge per adjacency
+// list scanned) to keep instrumentation overhead well below the work being
+// measured.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "graph/types.h"
+#include "nvram/cost_model.h"
+#include "parallel/parallel.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+/// Immutable CSR graph. Build instances with GraphBuilder (builder.h) or the
+/// generators (generators.h).
+class Graph {
+ public:
+  /// Marker used by generic code to select block-decode paths.
+  static constexpr bool kCompressed = false;
+
+  Graph() = default;
+
+  /// Takes ownership of CSR arrays. offsets.size() == n+1;
+  /// neighbors.size() == offsets[n]; weights empty or sized like neighbors.
+  Graph(std::vector<edge_offset> offsets, std::vector<vertex_id> neighbors,
+        std::vector<weight_t> weights, bool symmetric)
+      : offsets_(std::move(offsets)),
+        neighbors_(std::move(neighbors)),
+        weights_(std::move(weights)),
+        symmetric_(symmetric) {
+    SAGE_CHECK(!offsets_.empty());
+    SAGE_CHECK(offsets_.back() == neighbors_.size());
+    SAGE_CHECK(weights_.empty() || weights_.size() == neighbors_.size());
+  }
+
+  /// Number of vertices n.
+  vertex_id num_vertices() const {
+    return static_cast<vertex_id>(offsets_.size() - 1);
+  }
+
+  /// Number of directed edges stored (2m for a symmetrized graph).
+  edge_offset num_edges() const { return neighbors_.size(); }
+
+  /// True if every edge (u,v) has its reverse (v,u) present.
+  bool symmetric() const { return symmetric_; }
+
+  /// True if an explicit weight array is stored.
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Average (out-)degree m/n.
+  double avg_degree() const {
+    vertex_id n = num_vertices();
+    return n == 0 ? 0.0
+                  : static_cast<double>(num_edges()) / static_cast<double>(n);
+  }
+
+  /// Degree of v. Charges one graph-region read (the offset words).
+  vertex_id degree(vertex_id v) const {
+    SAGE_DCHECK(v < num_vertices());
+    nvram::CostModel::Get().ChargeGraphRead(1, v);
+    return static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Degree without charging; for internal size computations whose cost is
+  /// already accounted at a coarser granularity.
+  vertex_id degree_uncharged(vertex_id v) const {
+    return static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weight of the i-th edge of v (1 for unweighted graphs). The caller's
+  /// neighborhood charge covers this read.
+  weight_t weight_at(vertex_id v, vertex_id i) const {
+    return weights_.empty() ? 1 : weights_[offsets_[v] + i];
+  }
+
+  /// Applies f(v, neighbor, weight) to each edge out of v, sequentially.
+  /// Charges the whole adjacency list as one graph read.
+  template <typename F>
+  void MapNeighbors(vertex_id v, const F& f) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    ChargeNeighborhood(v, hi - lo);
+    if (weights_.empty()) {
+      for (edge_offset i = lo; i < hi; ++i) f(v, neighbors_[i], weight_t{1});
+    } else {
+      for (edge_offset i = lo; i < hi; ++i) f(v, neighbors_[i], weights_[i]);
+    }
+  }
+
+  /// Like MapNeighbors but stops early when f returns false. Returns true if
+  /// all edges were visited. Charges the full list (conservative: the PSAM
+  /// charges the worst case; early exits are a constant-factor refinement).
+  template <typename F>
+  bool MapNeighborsWhile(vertex_id v, const F& f) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    ChargeNeighborhood(v, hi - lo);
+    for (edge_offset i = lo; i < hi; ++i) {
+      weight_t w = weights_.empty() ? 1 : weights_[i];
+      if (!f(v, neighbors_[i], w)) return false;
+    }
+    return true;
+  }
+
+  /// Applies f(v, neighbor, weight) to the edges of v with local indices in
+  /// [begin, end) — one logical block of the adjacency list. Charges only
+  /// that slice. Used by edgeMapChunked and the graph filter.
+  template <typename F>
+  void MapNeighborsRange(vertex_id v, edge_offset begin, edge_offset end,
+                         const F& f) const {
+    edge_offset lo = offsets_[v] + begin, hi = offsets_[v] + end;
+    SAGE_DCHECK(hi <= offsets_[v + 1]);
+    uint64_t words = 1 + (hi - lo) + (weights_.empty() ? 0 : hi - lo);
+    nvram::CostModel::Get().ChargeGraphRead(words, lo);
+    if (weights_.empty()) {
+      for (edge_offset i = lo; i < hi; ++i) f(v, neighbors_[i], weight_t{1});
+    } else {
+      for (edge_offset i = lo; i < hi; ++i) f(v, neighbors_[i], weights_[i]);
+    }
+  }
+
+  /// Applies f over the neighborhood of v in parallel (for high-degree
+  /// vertices in dense traversals and per-vertex reductions).
+  template <typename F>
+  void MapNeighborsParallel(vertex_id v, const F& f) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    ChargeNeighborhood(v, hi - lo);
+    parallel_for(lo, hi, [&](size_t i) {
+      weight_t w = weights_.empty() ? 1 : weights_[i];
+      f(v, neighbors_[i], w);
+    });
+  }
+
+  /// Reduces g(v, u, w) over v's neighborhood with a parallel monoid reduce.
+  template <typename T, typename G, typename Op>
+  T ReduceNeighbors(vertex_id v, const G& g, const Op& op, T id) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    ChargeNeighborhood(v, hi - lo);
+    return reduce_uncharged<T>(v, lo, hi, g, op, id);
+  }
+
+  /// Raw sorted neighbor ids of v (for intersections). Charges the list.
+  std::span<const vertex_id> Neighbors(vertex_id v) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    ChargeNeighborhood(v, hi - lo);
+    return {neighbors_.data() + lo, static_cast<size_t>(hi - lo)};
+  }
+
+  /// Neighbor ids without charging (when the caller already charged, e.g.
+  /// block decoding in the graph filter).
+  std::span<const vertex_id> NeighborsUncharged(vertex_id v) const {
+    edge_offset lo = offsets_[v], hi = offsets_[v + 1];
+    return {neighbors_.data() + lo, static_cast<size_t>(hi - lo)};
+  }
+
+  /// The neighbor at absolute position (v, i); uncharged (block-granular
+  /// callers charge once per block).
+  vertex_id NeighborAt(vertex_id v, edge_offset i) const {
+    return neighbors_[offsets_[v] + i];
+  }
+
+  /// Global word address of v's adjacency list start (NUMA/cache hints).
+  uint64_t AdjacencyAddress(vertex_id v) const { return offsets_[v]; }
+
+  const std::vector<edge_offset>& raw_offsets() const { return offsets_; }
+  const std::vector<vertex_id>& raw_neighbors() const { return neighbors_; }
+  const std::vector<weight_t>& raw_weights() const { return weights_; }
+
+  /// Approximate NVRAM bytes occupied by the CSR arrays.
+  size_t SizeBytes() const {
+    return offsets_.size() * sizeof(edge_offset) +
+           neighbors_.size() * sizeof(vertex_id) +
+           weights_.size() * sizeof(weight_t);
+  }
+
+ private:
+  void ChargeNeighborhood(vertex_id v, edge_offset deg) const {
+    // Offset word + neighbor words (+ weight words when present).
+    uint64_t words = 1 + deg + (weights_.empty() ? 0 : deg);
+    nvram::CostModel::Get().ChargeGraphRead(words, offsets_[v]);
+  }
+
+  template <typename T, typename G, typename Op>
+  T reduce_uncharged(vertex_id v, edge_offset lo, edge_offset hi, const G& g,
+                     const Op& op, T id) const {
+    return reduce(
+        static_cast<size_t>(hi - lo),
+        [&](size_t i) {
+          edge_offset e = lo + i;
+          weight_t w = weights_.empty() ? 1 : weights_[e];
+          return g(v, neighbors_[e], w);
+        },
+        op, id);
+  }
+
+  std::vector<edge_offset> offsets_;
+  std::vector<vertex_id> neighbors_;
+  std::vector<weight_t> weights_;
+  bool symmetric_ = false;
+};
+
+}  // namespace sage

@@ -1,0 +1,171 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace sage {
+
+namespace {
+
+/// Reads a whole file into a string.
+Result<std::string> Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(static_cast<size_t>(size), '\0');
+  size_t got = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) return Status::IOError("short read on " + path);
+  return data;
+}
+
+/// Incremental integer tokenizer over a text buffer.
+class Tokens {
+ public:
+  explicit Tokens(const std::string& data) : data_(data) {}
+
+  /// Skips to the next token; returns false at end of input.
+  bool Next(uint64_t* out) {
+    while (pos_ < data_.size() &&
+           !std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      // Skip comment lines entirely.
+      if (data_[pos_] == '#' || data_[pos_] == '%') {
+        while (pos_ < data_.size() && data_[pos_] != '\n') ++pos_;
+      } else {
+        ++pos_;
+      }
+    }
+    if (pos_ >= data_.size()) return false;
+    uint64_t v = 0;
+    while (pos_ < data_.size() &&
+           std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      v = v * 10 + static_cast<uint64_t>(data_[pos_] - '0');
+      ++pos_;
+    }
+    *out = v;
+    return true;
+  }
+
+  /// Reads the header word (letters) at the current position.
+  std::string Word() {
+    while (pos_ < data_.size() &&
+           std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+      ++pos_;
+    }
+    size_t start = pos_;
+    while (pos_ < data_.size() &&
+           std::isalpha(static_cast<unsigned char>(data_[pos_]))) {
+      ++pos_;
+    }
+    return data_.substr(start, pos_ - start);
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Graph> ReadAdjacencyGraph(const std::string& path, bool symmetric) {
+  auto data = Slurp(path);
+  if (!data.ok()) return data.status();
+  Tokens toks(data.ValueOrDie());
+  std::string header = toks.Word();
+  bool weighted;
+  if (header == "AdjacencyGraph") {
+    weighted = false;
+  } else if (header == "WeightedAdjacencyGraph") {
+    weighted = true;
+  } else {
+    return Status::Corruption(path + ": unknown header '" + header + "'");
+  }
+  uint64_t n = 0, m = 0;
+  if (!toks.Next(&n) || !toks.Next(&m)) {
+    return Status::Corruption(path + ": missing n/m");
+  }
+  std::vector<edge_offset> offsets(n + 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t off;
+    if (!toks.Next(&off)) return Status::Corruption(path + ": short offsets");
+    if (off > m) return Status::Corruption(path + ": offset out of range");
+    offsets[i] = off;
+  }
+  offsets[n] = m;
+  std::vector<vertex_id> neighbors(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint64_t v;
+    if (!toks.Next(&v)) return Status::Corruption(path + ": short edges");
+    if (v >= n) return Status::Corruption(path + ": neighbor id out of range");
+    neighbors[i] = static_cast<vertex_id>(v);
+  }
+  std::vector<weight_t> weights;
+  if (weighted) {
+    weights.resize(m);
+    for (uint64_t i = 0; i < m; ++i) {
+      uint64_t w;
+      if (!toks.Next(&w)) return Status::Corruption(path + ": short weights");
+      weights[i] = static_cast<weight_t>(w);
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors), std::move(weights),
+               symmetric);
+}
+
+Status WriteAdjacencyGraph(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const auto& offsets = g.raw_offsets();
+  const auto& neighbors = g.raw_neighbors();
+  const auto& weights = g.raw_weights();
+  std::fprintf(f, "%s\n", g.weighted() ? "WeightedAdjacencyGraph"
+                                       : "AdjacencyGraph");
+  std::fprintf(f, "%u\n%llu\n", g.num_vertices(),
+               static_cast<unsigned long long>(g.num_edges()));
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(offsets[v]));
+  }
+  for (edge_offset e = 0; e < g.num_edges(); ++e) {
+    std::fprintf(f, "%u\n", neighbors[e]);
+  }
+  if (g.weighted()) {
+    for (edge_offset e = 0; e < g.num_edges(); ++e) {
+      std::fprintf(f, "%u\n", weights[e]);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path, bool weighted) {
+  auto data = Slurp(path);
+  if (!data.ok()) return data.status();
+  Tokens toks(data.ValueOrDie());
+  std::vector<WeightedEdge> edges;
+  uint64_t max_id = 0;
+  for (;;) {
+    uint64_t u, v, w = 1;
+    if (!toks.Next(&u)) break;
+    if (!toks.Next(&v)) {
+      return Status::Corruption(path + ": odd number of endpoints");
+    }
+    if (weighted && !toks.Next(&w)) {
+      return Status::Corruption(path + ": missing weight");
+    }
+    max_id = std::max({max_id, u, v});
+    edges.push_back({static_cast<vertex_id>(u), static_cast<vertex_id>(v),
+                     static_cast<weight_t>(w)});
+  }
+  if (edges.empty()) return Status::Corruption(path + ": no edges");
+  BuildOptions opts;
+  opts.keep_weights = weighted;
+  return GraphBuilder::Build(static_cast<vertex_id>(max_id + 1),
+                             std::move(edges), opts);
+}
+
+}  // namespace sage

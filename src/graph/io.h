@@ -1,0 +1,29 @@
+// Graph I/O: the Ligra text adjacency format (used by Ligra/GBBS/Sage for
+// interchange) and a whitespace edge-list format.
+//
+// AdjacencyGraph format:
+//   AdjacencyGraph\n  <n>\n  <m>\n  <n offsets>\n  <m neighbor ids>\n
+// WeightedAdjacencyGraph appends m integer weights.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sage {
+
+/// Reads a graph in (Weighted)AdjacencyGraph format. The stored graph is
+/// taken as-is (no symmetrization); set `symmetric` if the file is known to
+/// contain both directions of every edge.
+Result<Graph> ReadAdjacencyGraph(const std::string& path, bool symmetric);
+
+/// Writes `g` in (Weighted)AdjacencyGraph format.
+Status WriteAdjacencyGraph(const Graph& g, const std::string& path);
+
+/// Reads a whitespace/newline separated edge list "u v [w]" and builds a
+/// symmetric graph on max-id+1 vertices. Lines starting with '#' or '%' are
+/// comments.
+Result<Graph> ReadEdgeList(const std::string& path, bool weighted);
+
+}  // namespace sage

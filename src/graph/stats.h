@@ -1,0 +1,52 @@
+// Graph statistics used by Table 2 and Figure 2 of the paper (vertex/edge
+// counts, average and maximum degree, degree distribution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "parallel/primitives.h"
+
+namespace sage {
+
+/// Summary statistics of a graph.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;   // directed edge slots (2m when symmetrized)
+  double avg_degree = 0.0;  // m/n over stored (directed) edges
+  uint64_t max_degree = 0;
+  uint64_t num_isolated = 0;  // vertices with degree 0
+
+  std::string ToString() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu m=%llu d_avg=%.1f d_max=%llu isolated=%llu",
+                  static_cast<unsigned long long>(num_vertices),
+                  static_cast<unsigned long long>(num_edges), avg_degree,
+                  static_cast<unsigned long long>(max_degree),
+                  static_cast<unsigned long long>(num_isolated));
+    return buf;
+  }
+};
+
+/// Computes summary statistics in parallel (uncharged; offline analysis).
+template <typename GraphT>
+GraphStats ComputeStats(const GraphT& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.avg_degree = g.avg_degree();
+  s.max_degree = reduce_max<uint64_t>(
+      g.num_vertices(),
+      [&](size_t v) {
+        return g.degree_uncharged(static_cast<vertex_id>(v));
+      },
+      0);
+  s.num_isolated = reduce_add<uint64_t>(g.num_vertices(), [&](size_t v) {
+    return g.degree_uncharged(static_cast<vertex_id>(v)) == 0 ? 1 : 0;
+  });
+  return s;
+}
+
+}  // namespace sage

@@ -1,0 +1,40 @@
+// Fundamental graph types shared across Sage.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sage {
+
+/// Vertex identifier. 32 bits covers graphs up to ~4.2B vertices, matching
+/// GBBS's default and halving index memory vs. 64-bit ids.
+using vertex_id = uint32_t;
+
+/// Edge-array offset (edge counts can exceed 2^32).
+using edge_offset = uint64_t;
+
+/// Edge weight. The paper evaluates integral weights drawn from [1, log n);
+/// unweighted graphs use weight 1 implicitly and store no weight array.
+using weight_t = uint32_t;
+
+/// Sentinel for "no vertex" (unvisited parent, unreachable, ...).
+inline constexpr vertex_id kNoVertex = std::numeric_limits<vertex_id>::max();
+
+/// Sentinel for "infinite distance".
+inline constexpr uint64_t kInfDist = std::numeric_limits<uint64_t>::max();
+
+/// A directed edge (u -> v) with weight, used by builders and generators.
+struct WeightedEdge {
+  vertex_id u = 0;
+  vertex_id v = 0;
+  weight_t w = 1;
+
+  friend bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+}  // namespace sage

@@ -1,0 +1,42 @@
+// Variable-length byte codes used by the compressed CSR format (Ligra+
+// difference encoding). Each value is stored little-endian, 7 bits per byte,
+// high bit = continuation. Signed values use zigzag encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sage {
+
+/// Appends the varint encoding of x to out.
+inline void VarintEncode(uint64_t x, std::vector<uint8_t>& out) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(x));
+}
+
+/// Decodes a varint at p, advancing p past it.
+inline uint64_t VarintDecode(const uint8_t*& p) {
+  uint64_t x = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t b = *p++;
+    x |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return x;
+}
+
+/// Zigzag: maps signed to unsigned so small magnitudes stay small.
+inline uint64_t ZigzagEncode(int64_t x) {
+  return (static_cast<uint64_t>(x) << 1) ^ static_cast<uint64_t>(x >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t x) {
+  return static_cast<int64_t>(x >> 1) ^ -static_cast<int64_t>(x & 1);
+}
+
+}  // namespace sage

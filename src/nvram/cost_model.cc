@@ -1,0 +1,259 @@
+#include "nvram/cost_model.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+namespace sage::nvram {
+
+const char* AllocPolicyName(AllocPolicy policy) {
+  switch (policy) {
+    case AllocPolicy::kAllDram:
+      return "all-dram";
+    case AllocPolicy::kGraphNvram:
+      return "graph-nvram";
+    case AllocPolicy::kAllNvram:
+      return "all-nvram";
+    case AllocPolicy::kMemoryMode:
+      return "memory-mode";
+  }
+  return "unknown";
+}
+
+std::string CostTotals::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "dram_r=%llu dram_w=%llu nvram_r=%llu nvram_w=%llu "
+                "remote=%llu mm_hit=%llu mm_miss=%llu",
+                static_cast<unsigned long long>(dram_reads),
+                static_cast<unsigned long long>(dram_writes),
+                static_cast<unsigned long long>(nvram_reads),
+                static_cast<unsigned long long>(nvram_writes),
+                static_cast<unsigned long long>(remote_nvram_accesses),
+                static_cast<unsigned long long>(memory_mode_hits),
+                static_cast<unsigned long long>(memory_mode_misses));
+  return buf;
+}
+
+namespace {
+
+// Shared direct-mapped tag array for the MemoryMode cache simulator.
+// Accessed without atomics: the simulator is statistical, and benign races
+// only perturb the hit rate marginally (documented in DESIGN.md).
+std::vector<uint64_t>& MemoryModeTags(size_t lines) {
+  static std::vector<uint64_t> tags;
+  if (tags.size() != lines) tags.assign(lines, ~0ULL);
+  return tags;
+}
+
+// Socket of the calling worker: workers are split evenly across sockets,
+// matching `numactl -i all` thread placement.
+int ThreadSocket(int num_sockets) {
+  int nw = Scheduler::Get().num_workers();
+  if (nw <= 1 || num_sockets <= 1) return 0;
+  int id = Scheduler::worker_id();
+  int socket = id * num_sockets / nw;
+  return socket < num_sockets ? socket : num_sockets - 1;
+}
+
+}  // namespace
+
+CostModel::CostModel() = default;
+
+CostModel& CostModel::Get() {
+  static CostModel model;
+  return model;
+}
+
+void CostModel::ResetCounters() {
+  for (auto& shard : shards_) shard.totals = CostTotals{};
+  MemoryModeTags(config_.memory_mode_lines).assign(config_.memory_mode_lines,
+                                                   ~0ULL);
+}
+
+void CostModel::ChargeNvramRead(Shard& s, uint64_t words,
+                                uint64_t addr_hint) {
+  s.totals.nvram_reads += words;
+  if (config_.num_sockets > 1) {
+    switch (graph_layout_) {
+      case GraphLayout::kReplicated:
+        break;  // always local
+      case GraphLayout::kSingleSocket:
+        if (ThreadSocket(config_.num_sockets) != 0) {
+          s.totals.remote_nvram_accesses += words;
+        }
+        break;
+      case GraphLayout::kInterleaved: {
+        uint64_t line = addr_hint / config_.memory_mode_line_words;
+        int data_socket =
+            static_cast<int>(line % static_cast<uint64_t>(config_.num_sockets));
+        if (data_socket != ThreadSocket(config_.num_sockets)) {
+          s.totals.remote_nvram_accesses += words;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CostModel::ChargeNvramWrite(Shard& s, uint64_t words,
+                                 uint64_t addr_hint) {
+  (void)addr_hint;
+  s.totals.nvram_writes += words;
+}
+
+void CostModel::ChargeMemoryMode(Shard& s, uint64_t words, uint64_t addr_hint,
+                                 bool is_write) {
+  // Walk the cache lines this access covers through the direct-mapped tag
+  // array; misses pay NVRAM cost, hits pay DRAM cost.
+  auto& tags = MemoryModeTags(config_.memory_mode_lines);
+  const uint64_t lw = config_.memory_mode_line_words;
+  uint64_t first_line = addr_hint / lw;
+  uint64_t num_lines = (words + lw - 1) / lw;
+  if (num_lines == 0) num_lines = 1;
+  uint64_t hits = 0, misses = 0;
+  for (uint64_t l = 0; l < num_lines; ++l) {
+    uint64_t line = first_line + l;
+    size_t slot = static_cast<size_t>(line % tags.size());
+    if (tags[slot] == line) {
+      ++hits;
+    } else {
+      ++misses;
+      tags[slot] = line;
+    }
+  }
+  // Attribute word traffic proportionally to hit/miss lines.
+  uint64_t miss_words = num_lines == 0 ? 0 : words * misses / num_lines;
+  uint64_t hit_words = words - miss_words;
+  s.totals.memory_mode_hits += hits;
+  s.totals.memory_mode_misses += misses;
+  if (is_write) {
+    s.totals.dram_writes += hit_words;
+    s.totals.nvram_writes += miss_words;
+  } else {
+    s.totals.dram_reads += hit_words;
+    s.totals.nvram_reads += miss_words;
+  }
+}
+
+void CostModel::ChargeGraphRead(uint64_t words, uint64_t addr_hint) {
+  Shard& s = LocalShard();
+  switch (policy_) {
+    case AllocPolicy::kAllDram:
+      s.totals.dram_reads += words;
+      break;
+    case AllocPolicy::kGraphNvram:
+    case AllocPolicy::kAllNvram:
+      ChargeNvramRead(s, words, addr_hint);
+      break;
+    case AllocPolicy::kMemoryMode:
+      ChargeMemoryMode(s, words, addr_hint, /*is_write=*/false);
+      break;
+  }
+  MaybeThrottle(s);
+}
+
+void CostModel::ChargeGraphWrite(uint64_t words, uint64_t addr_hint) {
+  Shard& s = LocalShard();
+  switch (policy_) {
+    case AllocPolicy::kAllDram:
+      s.totals.dram_writes += words;
+      break;
+    case AllocPolicy::kGraphNvram:
+    case AllocPolicy::kAllNvram:
+      ChargeNvramWrite(s, words, addr_hint);
+      break;
+    case AllocPolicy::kMemoryMode:
+      ChargeMemoryMode(s, words, addr_hint, /*is_write=*/true);
+      break;
+  }
+  MaybeThrottle(s);
+}
+
+void CostModel::ChargeWorkRead(uint64_t words, uint64_t addr_hint) {
+  Shard& s = LocalShard();
+  switch (policy_) {
+    case AllocPolicy::kAllDram:
+    case AllocPolicy::kGraphNvram:
+      s.totals.dram_reads += words;
+      break;
+    case AllocPolicy::kAllNvram:
+      ChargeNvramRead(s, words, addr_hint);
+      break;
+    case AllocPolicy::kMemoryMode:
+      ChargeMemoryMode(s, words, addr_hint, /*is_write=*/false);
+      break;
+  }
+  MaybeThrottle(s);
+}
+
+void CostModel::ChargeWorkWrite(uint64_t words, uint64_t addr_hint) {
+  Shard& s = LocalShard();
+  switch (policy_) {
+    case AllocPolicy::kAllDram:
+    case AllocPolicy::kGraphNvram:
+      s.totals.dram_writes += words;
+      break;
+    case AllocPolicy::kAllNvram:
+      ChargeNvramWrite(s, words, addr_hint);
+      break;
+    case AllocPolicy::kMemoryMode:
+      ChargeMemoryMode(s, words, addr_hint, /*is_write=*/true);
+      break;
+  }
+  MaybeThrottle(s);
+}
+
+CostTotals CostModel::Totals() const {
+  CostTotals t;
+  for (const auto& shard : shards_) t += shard.totals;
+  return t;
+}
+
+double CostModel::EmulatedNanos(const CostTotals& t, int threads) const {
+  if (threads < 1) threads = 1;
+  double local_reads =
+      static_cast<double>(t.nvram_reads - std::min(t.nvram_reads,
+                                                   t.remote_nvram_accesses));
+  double remote = static_cast<double>(t.remote_nvram_accesses);
+  double ns = static_cast<double>(t.dram_reads) * config_.dram_read_ns +
+              static_cast<double>(t.dram_writes) * config_.dram_write_ns +
+              local_reads * config_.nvram_read_ns +
+              remote * config_.nvram_read_ns * config_.remote_nvram_multiplier +
+              static_cast<double>(t.nvram_writes) * config_.nvram_write_ns();
+  return ns / threads;
+}
+
+void CostModel::MaybeThrottle(Shard& s) {
+  if (!throttle_enabled_) return;
+  // Debt-based throttling: accumulate the emulated *extra* latency of the
+  // accesses charged since the last stall, and burn it off in chunks.
+  // The per-charge bookkeeping is intentionally coarse (counter deltas),
+  // so the common path is two subtractions and a compare.
+  const CostTotals& t = s.totals;
+  double extra_ns =
+      static_cast<double>(t.nvram_reads) * (config_.nvram_read_ns - 1.0) +
+      static_cast<double>(t.nvram_writes) * (config_.nvram_write_ns() - 1.0) +
+      static_cast<double>(t.remote_nvram_accesses) * config_.nvram_read_ns *
+          (config_.remote_nvram_multiplier - 1.0);
+  double debt = extra_ns * throttle_scale_ - s.paid_ns;
+  constexpr double kStallQuantumNs = 20000.0;  // 20 microseconds
+  if (debt < kStallQuantumNs) return;
+  auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    double waited =
+        std::chrono::duration<double, std::nano>(now - start).count();
+    if (waited >= debt) break;
+  }
+  s.paid_ns += debt;
+}
+
+void CostModel::SetThrottle(bool enabled, double scale) {
+  throttle_enabled_ = enabled;
+  throttle_scale_ = scale;
+  for (auto& shard : shards_) shard.paid_ns = 0.0;
+}
+
+}  // namespace sage::nvram

@@ -1,0 +1,100 @@
+// Peak-memory tracking for the small (DRAM) memory.
+//
+// The PSAM bounds the small-memory to O(n) words (O(n + m/log n) relaxed),
+// and Table 5 of the paper compares the intermediate memory footprints of
+// edgeMapSparse / edgeMapBlocked / edgeMapChunked. Sage structures report
+// their DRAM allocations here explicitly, which keeps the measurement
+// deterministic (no allocator hooks) and lets tests assert the O(n) bound.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace sage::nvram {
+
+/// Process-wide tracker of explicitly reported DRAM allocations.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Get() {
+    static MemoryTracker tracker;
+    return tracker;
+  }
+
+  /// Records an allocation of `bytes` and updates the peak.
+  void Allocate(size_t bytes) {
+    uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) +
+                   bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Records a deallocation of `bytes`.
+  void Free(size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently reported live.
+  uint64_t CurrentBytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark since the last ResetPeak().
+  uint64_t PeakBytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Resets the peak to the current live size.
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  MemoryTracker() = default;
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII allocation report: pairs an Allocate with its Free. Movable so that
+/// owning structures (VertexSubset, GraphFilter) stay movable.
+class TrackedAllocation {
+ public:
+  explicit TrackedAllocation(size_t bytes) : bytes_(bytes) {
+    MemoryTracker::Get().Allocate(bytes_);
+  }
+  TrackedAllocation(TrackedAllocation&& o) noexcept : bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+  TrackedAllocation& operator=(TrackedAllocation&& o) noexcept {
+    if (this != &o) {
+      MemoryTracker::Get().Free(bytes_);
+      bytes_ = o.bytes_;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~TrackedAllocation() { MemoryTracker::Get().Free(bytes_); }
+
+  /// Grows or shrinks the reported size (for resizable buffers).
+  void Resize(size_t new_bytes) {
+    if (new_bytes > bytes_) {
+      MemoryTracker::Get().Allocate(new_bytes - bytes_);
+    } else {
+      MemoryTracker::Get().Free(bytes_ - new_bytes);
+    }
+    bytes_ = new_bytes;
+  }
+
+  size_t bytes() const { return bytes_; }
+  TrackedAllocation(const TrackedAllocation&) = delete;
+  TrackedAllocation& operator=(const TrackedAllocation&) = delete;
+
+ private:
+  size_t bytes_;
+};
+
+}  // namespace sage::nvram

@@ -1,0 +1,121 @@
+// Fork-join scheduler for Sage, in the style of Cilk / ParlayLib.
+//
+// The PSAM's threads follow the binary-forking model: a thread may fork two
+// children and block until both complete (Section 3.1 of the paper). This
+// scheduler realizes that model with a pool of workers, per-worker LIFO
+// deques, randomized stealing from the top, and help-while-waiting joins so
+// a blocked ParDo keeps executing useful work.
+//
+// Design notes:
+//  - Jobs live on the stack of the forking ParDo; the join guarantees their
+//    lifetime, so no heap allocation happens per fork.
+//  - A worker pops its own deque at the bottom (LIFO, cache-friendly) and
+//    steals from a random victim's top (FIFO, coarse-grained tasks first).
+//  - Worker count comes from SAGE_NUM_THREADS or hardware_concurrency; it
+//    can be changed between parallel phases with Scheduler::Reset (used by
+//    the scalability benchmark, Figure 6).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sage {
+
+/// Fork-join work-stealing scheduler (process-wide singleton).
+class Scheduler {
+ public:
+  /// Upper bound on workers; per-thread structures elsewhere (cost counters,
+  /// chunk pools) are sized by this.
+  static constexpr int kMaxWorkers = 192;
+
+  /// Returns the process-wide scheduler, creating it on first use.
+  static Scheduler& Get();
+
+  /// Destroys and recreates the pool with `num_threads` workers (including
+  /// the calling thread). Must not be called while parallel work is running.
+  /// `num_threads <= 0` restores the default (env/hardware) count.
+  static void Reset(int num_threads);
+
+  /// Total workers, including the main thread.
+  int num_workers() const { return num_workers_; }
+
+  /// Id of the calling thread: 0 for the main thread, 1..num_workers-1 for
+  /// pool workers, 0 for foreign threads.
+  static int worker_id() { return worker_id_; }
+
+  /// Runs left() and right() as a fork-join pair; right() may execute on
+  /// another worker. Returns after both complete.
+  template <typename L, typename R>
+  void ParDo(L&& left, R&& right) {
+    if (num_workers_ == 1) {
+      left();
+      right();
+      return;
+    }
+    TypedJob<std::remove_reference_t<R>> job(std::addressof(right));
+    Push(&job);
+    left();
+    if (TryPopBottomIf(&job)) {
+      right();
+    } else {
+      WaitFor(&job);
+    }
+  }
+
+  ~Scheduler();
+  SAGE_DISALLOW_COPY_AND_ASSIGN(Scheduler);
+
+ private:
+  struct Job {
+    explicit Job(void (*run_fn)(Job*)) : run(run_fn) {}
+    void (*run)(Job*);
+    std::atomic<bool> done{false};
+  };
+
+  template <typename F>
+  struct TypedJob : Job {
+    explicit TypedJob(F* fn) : Job(&TypedJob::Run), f(fn) {}
+    F* f;
+    static void Run(Job* base) {
+      auto* self = static_cast<TypedJob*>(base);
+      (*self->f)();
+      self->done.store(true, std::memory_order_release);
+    }
+  };
+
+  struct alignas(kCacheLineBytes) WorkerQueue {
+    std::mutex mu;
+    std::deque<Job*> jobs;  // bottom = back, top = front
+  };
+
+  explicit Scheduler(int num_threads);
+
+  void Push(Job* job);
+  bool TryPopBottomIf(Job* job);
+  Job* TrySteal(int thief_id);
+  void RunJob(Job* job) { job->run(job); }
+  void WaitFor(Job* job);
+  void WorkerLoop(int id);
+  void NotifyOne();
+
+  static thread_local int worker_id_;
+
+  int num_workers_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> num_jobs_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace sage

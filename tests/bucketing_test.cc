@@ -1,0 +1,161 @@
+// Tests for the semi-eager bucketing structure (Appendix B).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bucketing.h"
+
+namespace sage {
+namespace {
+
+TEST(Buckets, YieldsIncreasingOrder) {
+  // v's initial bucket is v % 5.
+  Buckets b(100, [](vertex_id v) { return v % 5; },
+            BucketOrder::kIncreasing);
+  bucket_id last = 0;
+  size_t total = 0;
+  for (;;) {
+    auto bkt = b.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    EXPECT_GE(bkt.id, last);
+    last = bkt.id;
+    total += bkt.vertices.size();
+    for (vertex_id v : bkt.vertices) EXPECT_EQ(v % 5, bkt.id);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Buckets, YieldsDecreasingOrder) {
+  Buckets b(100, [](vertex_id v) { return v % 7; },
+            BucketOrder::kDecreasing, /*max_bucket=*/10);
+  bucket_id last = 10;
+  size_t total = 0;
+  for (;;) {
+    auto bkt = b.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    EXPECT_LE(bkt.id, last);
+    last = bkt.id;
+    total += bkt.vertices.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Buckets, SkipsNullBucketVertices) {
+  Buckets b(10,
+            [](vertex_id v) { return v < 5 ? v : kNullBucket; },
+            BucketOrder::kIncreasing);
+  size_t total = 0;
+  for (;;) {
+    auto bkt = b.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    total += bkt.vertices.size();
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Buckets, UpdateMovesVertexToLaterBucket) {
+  Buckets b(4, [](vertex_id) { return 1; }, BucketOrder::kIncreasing);
+  b.UpdateBuckets({{2, 5}});
+  auto first = b.NextBucket();
+  EXPECT_EQ(first.id, 1u);
+  EXPECT_EQ(first.vertices.size(), 3u);  // 0, 1, 3
+  auto second = b.NextBucket();
+  EXPECT_EQ(second.id, 5u);
+  ASSERT_EQ(second.vertices.size(), 1u);
+  EXPECT_EQ(second.vertices[0], 2u);
+  EXPECT_EQ(b.NextBucket().id, kNullBucket);
+}
+
+TEST(Buckets, UpdateBelowCurrentClampsToCurrent) {
+  Buckets b(3, [](vertex_id v) { return 3 + v; }, BucketOrder::kIncreasing);
+  auto first = b.NextBucket();  // bucket 3 = {0}
+  EXPECT_EQ(first.id, 3u);
+  // Try to move vertex 2 (bucket 5) to bucket 0: clamps to the current
+  // priority (never goes backwards).
+  b.UpdateBuckets({{2, 0}});
+  auto next = b.NextBucket();
+  EXPECT_GE(next.id, 3u);
+}
+
+TEST(Buckets, NullUpdateRemovesVertex) {
+  Buckets b(3, [](vertex_id) { return 2; }, BucketOrder::kIncreasing);
+  b.UpdateBuckets({{1, kNullBucket}});
+  auto bkt = b.NextBucket();
+  EXPECT_EQ(bkt.vertices.size(), 2u);
+  for (vertex_id v : bkt.vertices) EXPECT_NE(v, 1u);
+}
+
+TEST(Buckets, OverflowBucketsAreReached) {
+  // Buckets far beyond the open window (128) land in overflow and must
+  // still be yielded in order.
+  Buckets b(6, [](vertex_id v) { return v * 1000; },
+            BucketOrder::kIncreasing);
+  std::vector<bucket_id> order;
+  for (;;) {
+    auto bkt = b.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    order.push_back(bkt.id);
+  }
+  EXPECT_EQ(order, (std::vector<bucket_id>{0, 1000, 2000, 3000, 4000, 5000}));
+}
+
+TEST(Buckets, StaleEntriesAreFilteredAtExtraction) {
+  Buckets b(4, [](vertex_id) { return 1; }, BucketOrder::kIncreasing);
+  b.UpdateBuckets({{0, 2}});
+  b.UpdateBuckets({{0, 3}});
+  b.UpdateBuckets({{0, 4}});
+  auto b1 = b.NextBucket();
+  EXPECT_EQ(b1.id, 1u);
+  EXPECT_EQ(b1.vertices.size(), 3u);  // 1, 2, 3
+  auto b4 = b.NextBucket();
+  EXPECT_EQ(b4.id, 4u);
+  ASSERT_EQ(b4.vertices.size(), 1u);
+  EXPECT_EQ(b4.vertices[0], 0u);
+}
+
+TEST(Buckets, SemiEagerCompactionBoundsStoredEntries) {
+  // Repeatedly re-bucket the same n vertices; stored entries must stay
+  // O(n) (the PSAM small-memory requirement) instead of growing with the
+  // number of updates.
+  const vertex_id n = 1000;
+  Buckets b(n, [](vertex_id) { return 0; }, BucketOrder::kIncreasing);
+  for (int round = 1; round <= 50; ++round) {
+    std::vector<std::pair<vertex_id, bucket_id>> updates;
+    for (vertex_id v = 0; v < n; ++v) {
+      updates.push_back({v, static_cast<bucket_id>(round)});
+    }
+    b.UpdateBuckets(updates);
+    ASSERT_LE(b.StoredEntries(), 2u * n + n);
+  }
+}
+
+TEST(Buckets, KCoreStylePeelingSequence) {
+  // Simulate peeling: all vertices start in bucket = degree-ish values and
+  // move down-clamped as neighbors are removed; the extraction sequence
+  // must be non-decreasing.
+  const vertex_id n = 200;
+  Buckets b(n, [](vertex_id v) { return (v * 13) % 20; },
+            BucketOrder::kIncreasing);
+  bucket_id last = 0;
+  size_t total = 0;
+  while (total < n) {
+    auto bkt = b.NextBucket();
+    if (bkt.id == kNullBucket) break;
+    EXPECT_GE(bkt.id, last);
+    last = bkt.id;
+    total += bkt.vertices.size();
+    // Bump a few untouched vertices upward, as peeling updates would.
+    std::vector<std::pair<vertex_id, bucket_id>> updates;
+    for (vertex_id v : bkt.vertices) {
+      vertex_id w = (v + 1) % n;
+      if (b.BucketOf(w) != kNullBucket) {
+        updates.push_back({w, b.BucketOf(w) + 1});
+      }
+    }
+    b.UpdateBuckets(updates);
+  }
+  EXPECT_EQ(total, n);
+}
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,241 @@
+// Tests for the connectivity family: LDD, connectivity, spanning forest,
+// O(k)-spanner, biconnectivity.
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/biconnectivity.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/ldd.h"
+#include "algorithms/reference/sequential.h"
+#include "algorithms/spanner.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace sage {
+namespace {
+
+/// Checks that two labelings induce the same partition.
+template <typename A, typename B>
+void ExpectSamePartition(const std::vector<A>& got,
+                         const std::vector<B>& expect) {
+  ASSERT_EQ(got.size(), expect.size());
+  std::map<A, B> fwd;
+  std::map<B, A> bwd;
+  for (size_t i = 0; i < got.size(); ++i) {
+    auto [it1, fresh1] = fwd.try_emplace(got[i], expect[i]);
+    ASSERT_EQ(it1->second, expect[i]) << "index " << i;
+    auto [it2, fresh2] = bwd.try_emplace(expect[i], got[i]);
+    ASSERT_EQ(it2->second, got[i]) << "index " << i;
+  }
+}
+
+TEST(Ldd, ClustersAreValidAndConnected) {
+  Graph g = RmatGraph(11, 30000, 5);
+  auto ldd = LowDiameterDecomposition(g, 0.2, 42);
+  const vertex_id n = g.num_vertices();
+  // Every vertex is clustered; parents point within the cluster.
+  for (vertex_id v = 0; v < n; ++v) {
+    ASSERT_NE(ldd.cluster[v], kNoVertex) << v;
+    if (ldd.parent[v] != kNoVertex) {
+      ASSERT_EQ(ldd.cluster[ldd.parent[v]], ldd.cluster[v]) << v;
+    } else {
+      // Centers are their own cluster; isolated vertices center themselves.
+      ASSERT_EQ(ldd.cluster[v], v) << v;
+    }
+  }
+  EXPECT_GT(ldd.num_clusters, 0u);
+}
+
+TEST(Ldd, ParentPointersFormForest) {
+  Graph g = UniformRandomGraph(3000, 15000, 9);
+  auto ldd = LowDiameterDecomposition(g, 0.2, 7);
+  // Following parents must terminate at the cluster center (acyclic).
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    vertex_id cur = v;
+    size_t hops = 0;
+    while (ldd.parent[cur] != kNoVertex) {
+      cur = ldd.parent[cur];
+      ASSERT_LE(++hops, g.num_vertices()) << "cycle from " << v;
+    }
+    ASSERT_EQ(cur, ldd.cluster[v]);
+  }
+}
+
+TEST(Ldd, BetaControlsInterClusterEdges) {
+  Graph g = UniformRandomGraph(4000, 40000, 11);
+  auto tight = LowDiameterDecomposition(g, 0.05, 1);
+  auto loose = LowDiameterDecomposition(g, 0.8, 1);
+  // Smaller beta => fewer clusters and fewer cut edges.
+  EXPECT_LT(tight.num_clusters, loose.num_clusters);
+  EXPECT_LT(tight.CountInterClusterEdges(g),
+            loose.CountInterClusterEdges(g));
+}
+
+struct ConnCase {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph ConnRmat() { return RmatGraph(10, 12000, 3); }
+Graph ConnCliques() { return DisjointCliques(50, 6); }
+Graph ConnGrid() { return GridGraph(30, 30); }
+Graph ConnSparse() { return UniformRandomGraph(5000, 3000, 5); }
+
+class ConnectivityGraphs : public ::testing::TestWithParam<ConnCase> {};
+
+TEST_P(ConnectivityGraphs, LabelsMatchReferencePartition) {
+  Graph g = GetParam().make();
+  ExpectSamePartition(Connectivity(g), ref::Components(g));
+}
+
+TEST_P(ConnectivityGraphs, SpanningForestIsMaximalAndAcyclic) {
+  Graph g = GetParam().make();
+  auto forest = SpanningForest(g);
+  size_t num_components = ref::NumComponents(g);
+  EXPECT_EQ(forest.size(), g.num_vertices() - num_components);
+  // Acyclic + edges exist in g: union-find must merge on every edge.
+  AtomicUnionFind uf(g.num_vertices());
+  std::set<std::pair<vertex_id, vertex_id>> edges;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) edges.insert({v, u});
+  }
+  for (auto [u, v] : forest) {
+    ASSERT_TRUE(edges.count({u, v})) << u << "-" << v;
+    ASSERT_TRUE(uf.Unite(u, v)) << "cycle at " << u << "-" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ConnectivityGraphs,
+                         ::testing::Values(ConnCase{"rmat", ConnRmat},
+                                           ConnCase{"cliques", ConnCliques},
+                                           ConnCase{"grid", ConnGrid},
+                                           ConnCase{"sparse", ConnSparse}),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Connectivity, SeedsGiveIdenticalPartitions) {
+  Graph g = RmatGraph(10, 15000, 21);
+  ConnectivityOptions o1;
+  o1.seed = 1;
+  ConnectivityOptions o2;
+  o2.seed = 999;
+  ExpectSamePartition(Connectivity(g, o1), Connectivity(g, o2));
+}
+
+TEST(Spanner, IsSubgraphAndConnectsComponents) {
+  Graph g = RmatGraph(10, 20000, 13);
+  auto h_edges = Spanner(g);
+  std::set<std::pair<vertex_id, vertex_id>> edges;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) edges.insert({v, u});
+  }
+  for (auto [u, v] : h_edges) {
+    ASSERT_TRUE(edges.count({u, v}) || edges.count({v, u}));
+  }
+  // The spanner must preserve connectivity (stretch is finite).
+  std::vector<WeightedEdge> wedges;
+  for (auto [u, v] : h_edges) wedges.push_back({u, v, 1});
+  Graph h = GraphBuilder::FromEdges(g.num_vertices(), std::move(wedges));
+  EXPECT_EQ(ref::NumComponents(h), ref::NumComponents(g));
+}
+
+TEST(Spanner, StretchIsBounded) {
+  Graph g = UniformRandomGraph(1500, 15000, 3);
+  uint32_t k = 1;
+  while ((1u << k) < g.num_vertices()) ++k;
+  auto h_edges = Spanner(g);
+  std::vector<WeightedEdge> wedges;
+  for (auto [u, v] : h_edges) wedges.push_back({u, v, 1});
+  Graph h = GraphBuilder::FromEdges(g.num_vertices(), std::move(wedges));
+  // Sampled pairs: dist_H <= O(k) * dist_G. Use 8k as the whp constant.
+  for (vertex_id src : {0u, 77u, 500u}) {
+    auto dg = ref::BfsLevels(g, src);
+    auto dh = ref::BfsLevels(h, src);
+    for (vertex_id v = 0; v < g.num_vertices(); v += 13) {
+      if (dg[v] == std::numeric_limits<uint32_t>::max()) continue;
+      ASSERT_NE(dh[v], std::numeric_limits<uint32_t>::max());
+      ASSERT_LE(dh[v], 8 * k * std::max<uint32_t>(dg[v], 1))
+          << "pair " << src << "," << v;
+    }
+  }
+}
+
+TEST(Spanner, SizeIsNearLinearForLogStretch) {
+  Graph g = UniformRandomGraph(4000, 60000, 17);
+  auto h_edges = Spanner(g);
+  // With k = ceil(log2 n), size is O(n); allow a generous constant.
+  EXPECT_LT(h_edges.size(), 8u * g.num_vertices());
+}
+
+/// Collects edge -> bicc label using the parallel result.
+std::vector<uint32_t> BiccEdgeLabels(const Graph& g,
+                                     const BiconnectivityResult& bicc) {
+  std::vector<uint32_t> labels;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      labels.push_back(bicc.EdgeLabel(v, u));
+    }
+  }
+  return labels;
+}
+
+struct BiccCase {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph BiccPath() { return PathGraph(50); }
+Graph BiccCycle() { return CycleGraph(40); }
+Graph BiccRmat() { return RmatGraph(8, 3000, 5); }
+Graph BiccGrid() { return GridGraph(12, 15); }
+Graph BiccCliques() { return DisjointCliques(8, 5); }
+Graph BiccBridges() {
+  // Two triangles joined by a bridge, plus a pendant.
+  return GraphBuilder::FromEdges(
+      8, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1},
+          {5, 3, 1}, {5, 6, 1}, {6, 7, 1}});
+}
+
+class BiccGraphs : public ::testing::TestWithParam<BiccCase> {};
+
+TEST_P(BiccGraphs, EdgePartitionMatchesHopcroftTarjan) {
+  Graph g = GetParam().make();
+  auto bicc = Biconnectivity(g);
+  auto got = BiccEdgeLabels(g, bicc);
+  auto expect = ref::BiconnectedComponents(g);
+  ASSERT_EQ(got.size(), expect.size());
+  std::map<uint32_t, uint32_t> fwd;
+  std::map<uint32_t, uint32_t> bwd;
+  for (size_t i = 0; i < got.size(); ++i) {
+    auto [it1, f1] = fwd.try_emplace(got[i], expect[i]);
+    ASSERT_EQ(it1->second, expect[i]) << "slot " << i;
+    auto [it2, f2] = bwd.try_emplace(expect[i], got[i]);
+    ASSERT_EQ(it2->second, got[i]) << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, BiccGraphs,
+    ::testing::Values(BiccCase{"path", BiccPath}, BiccCase{"cycle", BiccCycle},
+                      BiccCase{"rmat", BiccRmat}, BiccCase{"grid", BiccGrid},
+                      BiccCase{"cliques", BiccCliques},
+                      BiccCase{"bridges", BiccBridges}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ConnectivityCosts, NoNvramWrites) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  Graph g = RmatGraph(10, 15000, 2);
+  cm.ResetCounters();
+  (void)Connectivity(g);
+  (void)SpanningForest(g);
+  (void)Spanner(g);
+  (void)Biconnectivity(g);
+  EXPECT_EQ(cm.Totals().nvram_writes, 0u);
+}
+
+}  // namespace
+}  // namespace sage

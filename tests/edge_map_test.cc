@@ -1,0 +1,215 @@
+// Tests for edgeMap: all three sparse variants and the dense traversal
+// must compute identical BFS level sets; direction optimization must agree
+// with forced modes; edgeMapChunked must stay within O(n) intermediate
+// memory while edgeMapSparse/Blocked use Theta(sum deg) (Table 5).
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chunk_pool.h"
+#include "core/edge_map.h"
+#include "graph/compressed_graph.h"
+#include "graph/generators.h"
+
+namespace sage {
+namespace {
+
+/// The canonical BFS functor from Figure 4 of the paper.
+struct BfsFunctor {
+  std::vector<std::atomic<vertex_id>>& parents;
+
+  bool update(vertex_id s, vertex_id d, weight_t) {
+    if (parents[d].load(std::memory_order_relaxed) == kNoVertex) {
+      parents[d].store(s, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  bool updateAtomic(vertex_id s, vertex_id d, weight_t) {
+    vertex_id expect = kNoVertex;
+    return parents[d].compare_exchange_strong(expect, s,
+                                              std::memory_order_relaxed);
+  }
+  bool cond(vertex_id d) {
+    return parents[d].load(std::memory_order_relaxed) == kNoVertex;
+  }
+};
+
+/// Runs BFS from src with the given options; returns per-vertex levels
+/// (kNoVertex-level = unreached encoded as max).
+template <typename GraphT>
+std::vector<uint32_t> BfsLevels(const GraphT& g, vertex_id src,
+                                const EdgeMapOptions& opts) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<vertex_id>> parents(n);
+  parallel_for(0, n, [&](size_t v) { parents[v].store(kNoVertex); });
+  parents[src].store(src);
+  std::vector<uint32_t> level(n, std::numeric_limits<uint32_t>::max());
+  level[src] = 0;
+  auto frontier = VertexSubset::Single(n, src);
+  uint32_t depth = 0;
+  while (!frontier.IsEmpty()) {
+    ++depth;
+    BfsFunctor f{parents};
+    auto next = EdgeMap(g, frontier, f, opts);
+    next.ToSparse();
+    for (vertex_id v : next.ids()) level[v] = depth;
+    frontier = std::move(next);
+  }
+  return level;
+}
+
+/// Sequential reference BFS levels.
+std::vector<uint32_t> ReferenceLevels(const Graph& g, vertex_id src) {
+  std::vector<uint32_t> level(g.num_vertices(),
+                              std::numeric_limits<uint32_t>::max());
+  std::vector<vertex_id> queue{src};
+  level[src] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    vertex_id u = queue[head];
+    for (vertex_id v : g.NeighborsUncharged(u)) {
+      if (level[v] == std::numeric_limits<uint32_t>::max()) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+struct VariantModeCase {
+  SparseVariant variant;
+  TraversalMode mode;
+};
+
+class EdgeMapVariants : public ::testing::TestWithParam<VariantModeCase> {};
+
+TEST_P(EdgeMapVariants, BfsLevelsMatchReferenceOnRmat) {
+  Graph g = RmatGraph(11, 30000, 4);
+  EdgeMapOptions opts;
+  opts.sparse_variant = GetParam().variant;
+  opts.mode = GetParam().mode;
+  EXPECT_EQ(BfsLevels(g, 0, opts), ReferenceLevels(g, 0));
+}
+
+TEST_P(EdgeMapVariants, BfsLevelsMatchReferenceOnGrid) {
+  Graph g = GridGraph(40, 55);
+  EdgeMapOptions opts;
+  opts.sparse_variant = GetParam().variant;
+  opts.mode = GetParam().mode;
+  EXPECT_EQ(BfsLevels(g, 17, opts), ReferenceLevels(g, 17));
+}
+
+TEST_P(EdgeMapVariants, BfsLevelsMatchReferenceOnStar) {
+  Graph g = StarGraph(5000);
+  EdgeMapOptions opts;
+  opts.sparse_variant = GetParam().variant;
+  opts.mode = GetParam().mode;
+  EXPECT_EQ(BfsLevels(g, 1, opts), ReferenceLevels(g, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, EdgeMapVariants,
+    ::testing::Values(
+        VariantModeCase{SparseVariant::kSparse, TraversalMode::kAuto},
+        VariantModeCase{SparseVariant::kBlocked, TraversalMode::kAuto},
+        VariantModeCase{SparseVariant::kChunked, TraversalMode::kAuto},
+        VariantModeCase{SparseVariant::kSparse, TraversalMode::kSparseOnly},
+        VariantModeCase{SparseVariant::kBlocked, TraversalMode::kSparseOnly},
+        VariantModeCase{SparseVariant::kChunked, TraversalMode::kSparseOnly},
+        VariantModeCase{SparseVariant::kChunked, TraversalMode::kDenseOnly}));
+
+TEST(EdgeMapCompressed, ChunkedBfsOnCompressedGraphMatches) {
+  Graph g = RmatGraph(11, 30000, 9);
+  CompressedGraph cg = CompressedGraph::FromGraph(g, 64);
+  EdgeMapOptions opts;  // chunked by default
+  EXPECT_EQ(BfsLevels(cg, 0, opts), ReferenceLevels(g, 0));
+}
+
+TEST(EdgeMapCompressed, SparseOnlyBfsOnCompressedGraphMatches) {
+  Graph g = RmatGraph(10, 15000, 13);
+  CompressedGraph cg = CompressedGraph::FromGraph(g, 32);
+  EdgeMapOptions opts;
+  opts.mode = TraversalMode::kSparseOnly;
+  EXPECT_EQ(BfsLevels(cg, 5, opts), ReferenceLevels(g, 5));
+}
+
+TEST(EdgeMap, EmptyFrontierYieldsEmpty) {
+  Graph g = PathGraph(10);
+  auto frontier = VertexSubset::Empty(10);
+  std::vector<std::atomic<vertex_id>> parents(10);
+  for (auto& p : parents) p.store(kNoVertex);
+  BfsFunctor f{parents};
+  auto next = EdgeMap(g, frontier, f);
+  EXPECT_TRUE(next.IsEmpty());
+}
+
+TEST(EdgeMap, NoDuplicateOutputsWithCasDiscipline) {
+  // Many sources share targets; the CAS discipline admits each target once.
+  Graph g = CompleteGraph(200);
+  std::vector<std::atomic<vertex_id>> parents(200);
+  for (auto& p : parents) p.store(kNoVertex);
+  parents[0].store(0);
+  auto frontier = VertexSubset::Single(200, 0);
+  BfsFunctor f{parents};
+  EdgeMapOptions opts;
+  opts.mode = TraversalMode::kSparseOnly;
+  auto next = EdgeMap(g, frontier, f, opts);
+  next.ToSparse();
+  std::vector<bool> seen(200, false);
+  for (vertex_id v : next.ids()) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_EQ(next.size(), 199u);
+}
+
+/// Intermediate-memory comparison (the Table 5 property): peak tracked DRAM
+/// during a one-step traversal from a full frontier.
+uint64_t PeakDuringFullStep(const Graph& g, SparseVariant variant) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<vertex_id>> parents(n);
+  for (auto& p : parents) p.store(kNoVertex);
+  auto ids = tabulate<vertex_id>(n, [](size_t i) {
+    return static_cast<vertex_id>(i);
+  });
+  auto frontier = VertexSubset::Sparse(n, std::move(ids));
+  ChunkPool::Get(0).Drain();  // reset pooled chunks between measurements
+  auto& mt = nvram::MemoryTracker::Get();
+  mt.ResetPeak();
+  uint64_t before = mt.CurrentBytes();
+  BfsFunctor f{parents};
+  EdgeMapOptions opts;
+  opts.sparse_variant = variant;
+  opts.mode = TraversalMode::kSparseOnly;
+  auto next = EdgeMap(g, frontier, f, opts);
+  return mt.PeakBytes() - before;
+}
+
+TEST(EdgeMapMemory, ChunkedUsesLessIntermediateMemoryThanSparse) {
+  // Dense-ish graph: m = 32n, so sum deg(U) = 32n words for sparse/blocked
+  // while chunked stays O(n).
+  Graph g = UniformRandomGraph(4096, 1 << 17, 3);
+  uint64_t peak_sparse = PeakDuringFullStep(g, SparseVariant::kSparse);
+  uint64_t peak_blocked = PeakDuringFullStep(g, SparseVariant::kBlocked);
+  uint64_t peak_chunked = PeakDuringFullStep(g, SparseVariant::kChunked);
+  EXPECT_LT(peak_chunked, peak_sparse / 2);
+  EXPECT_LT(peak_chunked, peak_blocked / 2);
+}
+
+TEST(EdgeMapCosts, TraversalNeverWritesNvram) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  Graph g = RmatGraph(10, 20000, 5);
+  cm.ResetCounters();
+  EdgeMapOptions opts;
+  (void)BfsLevels(g, 0, opts);
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_writes, 0u);
+  EXPECT_GT(t.nvram_reads, 0u);
+}
+
+}  // namespace
+}  // namespace sage

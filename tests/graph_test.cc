@@ -1,0 +1,191 @@
+// Tests for CSR graph construction, accessors, generators, weights,
+// and cost-model charging of graph reads.
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+#include "nvram/cost_model.h"
+
+namespace sage {
+namespace {
+
+Graph Triangle() {
+  return GraphBuilder::FromEdges(3, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+}
+
+TEST(GraphBuilder, BuildsSymmetricTriangle) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // each undirected edge stored twice
+  EXPECT_TRUE(g.symmetric());
+  for (vertex_id v = 0; v < 3; ++v) EXPECT_EQ(g.degree_uncharged(v), 2u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoopsAndDuplicates) {
+  Graph g = GraphBuilder::FromEdges(
+      3, {{0, 1, 1}, {0, 1, 1}, {1, 0, 1}, {2, 2, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);  // only 0-1 and 1-0 remain
+  EXPECT_EQ(g.degree_uncharged(2), 0u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeIds) {
+  auto result = GraphBuilder::Build(2, {{0, 5, 1}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilder, NeighborsAreSorted) {
+  Graph g = UniformRandomGraph(500, 5000, 1);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.NeighborsUncharged(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) ASSERT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(GraphBuilder, SymmetryHolds) {
+  Graph g = RmatGraph(10, 10000, 3);
+  std::set<std::pair<vertex_id, vertex_id>> edges;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) edges.insert({v, u});
+  }
+  for (auto [u, v] : edges) ASSERT_TRUE(edges.count({v, u})) << u << " " << v;
+}
+
+TEST(Graph, MapNeighborsVisitsAllEdges) {
+  Graph g = Triangle();
+  std::vector<vertex_id> seen;
+  g.MapNeighbors(0, [&](vertex_id u, vertex_id v, weight_t w) {
+    EXPECT_EQ(u, 0u);
+    EXPECT_EQ(w, 1u);
+    seen.push_back(v);
+  });
+  EXPECT_EQ(seen, (std::vector<vertex_id>{1, 2}));
+}
+
+TEST(Graph, MapNeighborsWhileStopsEarly) {
+  Graph g = StarGraph(100);
+  int visits = 0;
+  bool finished = g.MapNeighborsWhile(0, [&](vertex_id, vertex_id, weight_t) {
+    return ++visits < 5;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(Graph, ReduceNeighborsSums) {
+  Graph g = StarGraph(10);  // center adjacent to 1..9
+  uint64_t sum = g.ReduceNeighbors<uint64_t>(
+      0, [](vertex_id, vertex_id v, weight_t) { return uint64_t{v}; },
+      [](uint64_t a, uint64_t b) { return a + b; }, 0);
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(Graph, ChargesCostModelOnReads) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  Graph g = CompleteGraph(10);
+  cm.ResetCounters();
+  g.MapNeighbors(0, [](vertex_id, vertex_id, weight_t) {});
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_reads, 10u);  // 9 neighbors + 1 offset word
+  EXPECT_EQ(t.nvram_writes, 0u);
+}
+
+TEST(Generators, GridDegreesAndSize) {
+  Graph g = GridGraph(10, 7);
+  EXPECT_EQ(g.num_vertices(), 70u);
+  // 2*rows*cols - rows - cols undirected edges, stored twice.
+  EXPECT_EQ(g.num_edges(), 2u * (2 * 10 * 7 - 10 - 7));
+  EXPECT_EQ(g.degree_uncharged(0), 2u);       // corner
+  EXPECT_EQ(g.degree_uncharged(1), 3u);       // border
+  EXPECT_EQ(g.degree_uncharged(1 * 7 + 1), 4u);  // interior
+}
+
+TEST(Generators, PathAndCycle) {
+  Graph p = PathGraph(10);
+  EXPECT_EQ(p.num_edges(), 18u);
+  EXPECT_EQ(p.degree_uncharged(0), 1u);
+  EXPECT_EQ(p.degree_uncharged(5), 2u);
+  Graph c = CycleGraph(10);
+  EXPECT_EQ(c.num_edges(), 20u);
+  for (vertex_id v = 0; v < 10; ++v) EXPECT_EQ(c.degree_uncharged(v), 2u);
+}
+
+TEST(Generators, CompleteGraphAllDegreesNMinus1) {
+  Graph g = CompleteGraph(20);
+  EXPECT_EQ(g.num_edges(), 20u * 19u);
+  for (vertex_id v = 0; v < 20; ++v) EXPECT_EQ(g.degree_uncharged(v), 19u);
+}
+
+TEST(Generators, DisjointCliquesAreDisjoint) {
+  Graph g = DisjointCliques(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  for (vertex_id v = 0; v < 20; ++v) {
+    for (vertex_id u : g.NeighborsUncharged(v)) {
+      EXPECT_EQ(u / 4, v / 4);  // same clique
+    }
+  }
+}
+
+TEST(Generators, RmatIsDeterministicPerSeed) {
+  Graph a = RmatGraph(8, 2000, 42);
+  Graph b = RmatGraph(8, 2000, 42);
+  EXPECT_EQ(a.raw_neighbors(), b.raw_neighbors());
+  Graph c = RmatGraph(8, 2000, 43);
+  EXPECT_NE(a.raw_neighbors(), c.raw_neighbors());
+}
+
+TEST(Generators, RmatDegreeSkewExceedsUniform) {
+  Graph rmat = RmatGraph(12, 40000, 7);
+  Graph flat = UniformRandomGraph(1 << 12, 40000, 7);
+  auto s_rmat = ComputeStats(rmat);
+  auto s_flat = ComputeStats(flat);
+  // Power-law graphs concentrate edges: max degree far above uniform.
+  EXPECT_GT(s_rmat.max_degree, 2 * s_flat.max_degree);
+}
+
+TEST(AddRandomWeights, WeightsInPaperRangeAndSymmetric) {
+  Graph g = AddRandomWeights(UniformRandomGraph(1000, 5000, 9), 17);
+  ASSERT_TRUE(g.weighted());
+  uint32_t max_w = 2;
+  while ((1u << max_w) < g.num_vertices()) ++max_w;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.NeighborsUncharged(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      weight_t w = g.weight_at(v, static_cast<vertex_id>(i));
+      ASSERT_GE(w, 1u);
+      ASSERT_LT(w, max_w);
+    }
+  }
+  // Symmetric: weight(u,v) == weight(v,u).
+  for (vertex_id v = 0; v < 50; ++v) {
+    auto nbrs = g.NeighborsUncharged(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      vertex_id u = nbrs[i];
+      weight_t wv = g.weight_at(v, static_cast<vertex_id>(i));
+      auto back = g.NeighborsUncharged(u);
+      for (size_t j = 0; j < back.size(); ++j) {
+        if (back[j] == v) {
+          ASSERT_EQ(g.weight_at(u, static_cast<vertex_id>(j)), wv);
+        }
+      }
+    }
+  }
+}
+
+TEST(Stats, ComputesBasicQuantities) {
+  Graph g = StarGraph(11);
+  auto s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 11u);
+  EXPECT_EQ(s.num_edges, 20u);
+  EXPECT_EQ(s.max_degree, 10u);
+  EXPECT_EQ(s.num_isolated, 0u);
+}
+
+}  // namespace
+}  // namespace sage

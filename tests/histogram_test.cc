@@ -1,0 +1,96 @@
+// Tests for the histogram primitive (sparse sort-based and dense paths).
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/histogram.h"
+#include "graph/generators.h"
+
+namespace sage {
+namespace {
+
+TEST(HistogramKeys, CountsOccurrences) {
+  std::vector<vertex_id> keys{3, 1, 3, 3, 7, 1};
+  auto h = HistogramKeys(keys);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], (std::pair<vertex_id, uint32_t>{1, 2}));
+  EXPECT_EQ(h[1], (std::pair<vertex_id, uint32_t>{3, 3}));
+  EXPECT_EQ(h[2], (std::pair<vertex_id, uint32_t>{7, 1}));
+}
+
+TEST(HistogramKeys, EmptyInput) {
+  EXPECT_TRUE(HistogramKeys({}).empty());
+}
+
+TEST(HistogramKeys, LargeRandomMatchesMap) {
+  Rng rng(3);
+  std::vector<vertex_id> keys(100000);
+  std::map<vertex_id, uint32_t> expect;
+  for (auto& k : keys) {
+    k = static_cast<vertex_id>(rng.Next(500));
+    expect[k]++;
+  }
+  auto h = HistogramKeys(keys);
+  ASSERT_EQ(h.size(), expect.size());
+  for (auto [k, c] : h) ASSERT_EQ(c, expect[k]);
+}
+
+/// Reference: per-vertex count of frontier neighbors.
+std::map<vertex_id, uint32_t> ReferenceNeighborCounts(
+    const Graph& g, const std::vector<vertex_id>& frontier) {
+  std::map<vertex_id, uint32_t> counts;
+  for (vertex_id u : frontier) {
+    for (vertex_id v : g.NeighborsUncharged(u)) counts[v]++;
+  }
+  return counts;
+}
+
+TEST(NeighborHistogram, SparseAndDensePathsAgree) {
+  Graph g = RmatGraph(10, 15000, 5);
+  std::vector<vertex_id> members;
+  for (vertex_id v = 0; v < g.num_vertices(); v += 3) members.push_back(v);
+  auto expect = ReferenceNeighborCounts(g, members);
+
+  auto sparse_frontier = VertexSubset::Sparse(g.num_vertices(),
+                                              std::vector<vertex_id>(members));
+  auto sparse = SparseNeighborHistogram(g, sparse_frontier,
+                                        [](vertex_id) { return true; });
+  ASSERT_EQ(sparse.size(), expect.size());
+  for (auto [v, c] : sparse) ASSERT_EQ(c, expect[v]) << v;
+
+  auto dense_frontier = VertexSubset::Sparse(g.num_vertices(),
+                                             std::vector<vertex_id>(members));
+  dense_frontier.ToDense();
+  auto dense = DenseNeighborHistogram(g, dense_frontier,
+                                      [](vertex_id) { return true; });
+  ASSERT_EQ(dense.size(), expect.size());
+  for (auto [v, c] : dense) ASSERT_EQ(c, expect[v]) << v;
+}
+
+TEST(NeighborHistogram, PredicateFiltersTargets) {
+  Graph g = CompleteGraph(30);
+  auto frontier = VertexSubset::Sparse(30, {0, 1, 2});
+  auto h = SparseNeighborHistogram(g, frontier,
+                                   [](vertex_id v) { return v >= 20; });
+  ASSERT_EQ(h.size(), 10u);
+  for (auto [v, c] : h) {
+    EXPECT_GE(v, 20u);
+    EXPECT_EQ(c, 3u);  // each of 0,1,2 is adjacent to v
+  }
+}
+
+TEST(NeighborHistogram, AutoSelectsAndMatchesReference) {
+  Graph g = RmatGraph(9, 10000, 8);
+  // Large frontier -> dense path.
+  std::vector<vertex_id> all;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  auto expect = ReferenceNeighborCounts(g, all);
+  auto frontier = VertexSubset::All(g.num_vertices());
+  auto h = NeighborHistogram(g, frontier, [](vertex_id) { return true; });
+  ASSERT_EQ(h.size(), expect.size());
+  for (auto [v, c] : h) ASSERT_EQ(c, expect[v]);
+}
+
+}  // namespace
+}  // namespace sage

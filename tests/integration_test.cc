@@ -1,0 +1,160 @@
+// Cross-algorithm integration tests: invariants that relate the outputs of
+// *different* Sage algorithms on the same graph. These catch consistency
+// bugs no single-algorithm test can (e.g. a connectivity change that breaks
+// spanning forest sizing), and exercise the whole engine end to end under
+// one cost-model session. Also: varint codec round-trips.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "algorithms/reference/sequential.h"
+#include "baselines/gbbs_algorithms.h"
+#include "core/sage.h"
+
+namespace sage {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  std::vector<uint64_t> values{0,    1,    127,  128,   129,
+                               1000, 1u << 14, (1u << 14) + 1,
+                               0xFFFFFFFFull,  0xFFFFFFFFFFFFFFFFull};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) VarintEncode(v, buf);
+  const uint8_t* p = buf.data();
+  for (uint64_t v : values) ASSERT_EQ(VarintDecode(p), v);
+  EXPECT_EQ(p, buf.data() + buf.size());
+}
+
+TEST(Varint, ZigzagRoundTripsSignedValues) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-63},
+                    int64_t{64}, int64_t{-(1ll << 40)}, int64_t{1ll << 40}}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+class IntegrationGraphs : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph() const { return RmatGraph(10, 16000, GetParam()); }
+};
+
+TEST_P(IntegrationGraphs, ForestSizeMatchesComponentCount) {
+  Graph g = MakeGraph();
+  auto labels = Connectivity(g);
+  auto sorted = parallel_sort(labels);
+  size_t components = unique_sorted(sorted).size();
+  auto forest = SpanningForest(g);
+  EXPECT_EQ(forest.size(), g.num_vertices() - components);
+}
+
+TEST_P(IntegrationGraphs, BfsReachesExactlyTheSourceComponent) {
+  Graph g = MakeGraph();
+  auto labels = Connectivity(g);
+  auto parents = Bfs(g, 0);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(parents[v] != kNoVertex, labels[v] == labels[0]) << v;
+  }
+}
+
+TEST_P(IntegrationGraphs, WeightedDistancesDominateHopDistances) {
+  // With weights >= 1, weighted distance >= hop distance, and with weights
+  // < max_w, weighted distance <= max_w * hops.
+  Graph g = AddRandomWeights(MakeGraph(), 3);
+  auto hops = BfsLevels(g, 0);
+  auto dist = WeightedBfs(g, 0);
+  uint32_t max_w = 2;
+  while ((1u << max_w) < g.num_vertices()) ++max_w;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (hops[v] == std::numeric_limits<uint32_t>::max()) {
+      EXPECT_EQ(dist[v], kInfDist);
+    } else {
+      EXPECT_GE(dist[v], hops[v]);
+      EXPECT_LE(dist[v], static_cast<uint64_t>(hops[v]) * max_w);
+    }
+  }
+}
+
+TEST_P(IntegrationGraphs, CorenessBoundsDensestSubgraphAndColoring) {
+  Graph g = MakeGraph();
+  auto kcore = KCore(g);
+  auto densest = ApproxDensestSubgraph(g, 0.001);
+  // Max subgraph density <= k_max (every densest-subgraph vertex has
+  // induced degree >= density, so the subgraph sits inside the
+  // ceil(density)-core); allow the 2(1+eps) approximation slack downward.
+  EXPECT_LE(densest.density, static_cast<double>(kcore.max_core) + 1e-9);
+  // Degeneracy coloring bound: chromatic number <= k_max + 1, and our
+  // greedy uses at most Delta + 1; both bound the palette.
+  auto colors = GraphColoring(g, 3);
+  uint32_t palette =
+      1 + *std::max_element(colors.begin(), colors.end());
+  auto stats = ComputeStats(g);
+  EXPECT_LE(palette, stats.max_degree + 1);
+}
+
+TEST_P(IntegrationGraphs, MisAndMatchingInterlock) {
+  Graph g = MakeGraph();
+  auto mis = MaximalIndependentSet(g, GetParam());
+  auto matching = MaximalMatching(g, GetParam() + 1);
+  // No matched edge can have both endpoints in the MIS (they'd be adjacent
+  // MIS members).
+  for (auto [u, v] : matching) {
+    EXPECT_FALSE(mis[u] == 1 && mis[v] == 1) << u << "-" << v;
+  }
+}
+
+TEST_P(IntegrationGraphs, SpannerPreservesConnectivityLabels) {
+  Graph g = MakeGraph();
+  auto h_edges = Spanner(g);
+  std::vector<WeightedEdge> wedges;
+  for (auto [u, v] : h_edges) wedges.push_back({u, v, 1});
+  Graph h = GraphBuilder::FromEdges(g.num_vertices(), std::move(wedges));
+  auto lg = Connectivity(g);
+  auto lh = Connectivity(h);
+  // Same partition: u ~ v in g iff u ~ v in h (check against vertex 0 and
+  // a sample of pairs).
+  for (vertex_id v = 0; v < g.num_vertices(); v += 7) {
+    EXPECT_EQ(lg[v] == lg[0], lh[v] == lh[0]) << v;
+  }
+}
+
+TEST_P(IntegrationGraphs, TriangleCountAgreesAcrossRepresentations) {
+  Graph g = MakeGraph();
+  uint64_t expect = TriangleCount(g).triangles;
+  for (uint32_t fb : {64u, 128u}) {
+    CompressedGraph cg = CompressedGraph::FromGraph(g, fb);
+    EXPECT_EQ(TriangleCount(cg).triangles, expect);
+  }
+  EXPECT_EQ(baselines::GbbsTriangleCount(g), expect);
+}
+
+TEST_P(IntegrationGraphs, FullPipelineNeverWritesNvram) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  Graph g = MakeGraph();
+  Graph gw = AddRandomWeights(g, 5);
+  cm.ResetCounters();
+  (void)Bfs(g, 0);
+  (void)WeightedBfs(gw, 0);
+  (void)Betweenness(g, 0);
+  (void)Spanner(g);
+  (void)Connectivity(g);
+  (void)Biconnectivity(g);
+  (void)MaximalIndependentSet(g, 1);
+  (void)MaximalMatching(g, 1);
+  (void)GraphColoring(g, 1);
+  (void)ApproximateSetCover(g);
+  (void)KCore(g);
+  (void)ApproxDensestSubgraph(g);
+  (void)TriangleCount(g);
+  (void)PageRank(g, 1e-6, 10);
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_writes, 0u);
+  EXPECT_GT(t.nvram_reads, g.num_edges());  // the graph was actually read
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationGraphs,
+                         ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,128 @@
+// Tests for graph I/O: AdjacencyGraph round trips, weighted graphs,
+// edge lists, and corruption handling.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace sage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+TEST(AdjacencyGraphIO, RoundTripsUnweighted) {
+  Graph g = RmatGraph(8, 3000, 21);
+  std::string path = TempPath("roundtrip.adj");
+  ASSERT_TRUE(WriteAdjacencyGraph(g, path).ok());
+  auto result = ReadAdjacencyGraph(path, /*symmetric=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& h = result.ValueOrDie();
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.raw_offsets(), g.raw_offsets());
+  EXPECT_EQ(h.raw_neighbors(), g.raw_neighbors());
+  EXPECT_TRUE(h.symmetric());
+}
+
+TEST(AdjacencyGraphIO, RoundTripsWeighted) {
+  Graph g = AddRandomWeights(UniformRandomGraph(200, 1500, 3), 5);
+  std::string path = TempPath("roundtrip_w.adj");
+  ASSERT_TRUE(WriteAdjacencyGraph(g, path).ok());
+  auto result = ReadAdjacencyGraph(path, true);
+  ASSERT_TRUE(result.ok());
+  const Graph& h = result.ValueOrDie();
+  EXPECT_TRUE(h.weighted());
+  EXPECT_EQ(h.raw_weights(), g.raw_weights());
+}
+
+TEST(AdjacencyGraphIO, ParsesHandWrittenFile) {
+  // 3-vertex path 0-1-2 stored symmetrically.
+  std::string path = TempPath("hand.adj");
+  WriteFile(path, "AdjacencyGraph\n3\n4\n0\n1\n3\n1\n0\n2\n1\n");
+  auto result = ReadAdjacencyGraph(path, true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree_uncharged(1), 2u);
+}
+
+TEST(AdjacencyGraphIO, RejectsMissingFile) {
+  auto result = ReadAdjacencyGraph(TempPath("nonexistent.adj"), true);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(AdjacencyGraphIO, RejectsBadHeader) {
+  std::string path = TempPath("bad_header.adj");
+  WriteFile(path, "NotAGraph\n1\n0\n0\n");
+  auto result = ReadAdjacencyGraph(path, true);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AdjacencyGraphIO, RejectsTruncatedEdges) {
+  std::string path = TempPath("truncated.adj");
+  WriteFile(path, "AdjacencyGraph\n3\n4\n0\n1\n3\n1\n0\n");
+  auto result = ReadAdjacencyGraph(path, true);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AdjacencyGraphIO, RejectsOutOfRangeNeighbor) {
+  std::string path = TempPath("oob.adj");
+  WriteFile(path, "AdjacencyGraph\n2\n1\n0\n1\n9\n");
+  auto result = ReadAdjacencyGraph(path, true);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EdgeListIO, ParsesAndSymmetrizes) {
+  std::string path = TempPath("edges.txt");
+  WriteFile(path, "# comment line\n0 1\n1 2\n% another comment\n2 3\n");
+  auto result = ReadEdgeList(path, /*weighted=*/false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.ValueOrDie();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.symmetric());
+}
+
+TEST(EdgeListIO, ParsesWeights) {
+  std::string path = TempPath("wedges.txt");
+  WriteFile(path, "0 1 5\n1 2 7\n");
+  auto result = ReadEdgeList(path, /*weighted=*/true);
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.ValueOrDie();
+  ASSERT_TRUE(g.weighted());
+  // Edge 0->1 has weight 5.
+  bool found = false;
+  g.MapNeighbors(0, [&](vertex_id, vertex_id v, weight_t w) {
+    if (v == 1) {
+      EXPECT_EQ(w, 5u);
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(EdgeListIO, RejectsEmptyFile) {
+  std::string path = TempPath("empty.txt");
+  WriteFile(path, "# nothing\n");
+  auto result = ReadEdgeList(path, false);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace sage

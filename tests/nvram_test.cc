@@ -1,0 +1,182 @@
+// Tests for the PSAM cost model, allocation policies, MemoryMode cache
+// simulation, NUMA layouts, and the memory tracker.
+#include <gtest/gtest.h>
+
+#include "nvram/cost_model.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/parallel.h"
+
+namespace sage::nvram {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& cm = CostModel::Get();
+    cm.SetConfig(EmulationConfig{});
+    cm.SetAllocPolicy(AllocPolicy::kGraphNvram);
+    cm.SetGraphLayout(GraphLayout::kReplicated);
+    cm.SetThrottle(false);
+    cm.ResetCounters();
+  }
+};
+
+TEST_F(CostModelTest, GraphNvramPolicyChargesNvramReads) {
+  auto& cm = CostModel::Get();
+  cm.ChargeGraphRead(10);
+  cm.ChargeWorkRead(5);
+  cm.ChargeWorkWrite(3);
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_reads, 10u);
+  EXPECT_EQ(t.dram_reads, 5u);
+  EXPECT_EQ(t.dram_writes, 3u);
+  EXPECT_EQ(t.nvram_writes, 0u);
+}
+
+TEST_F(CostModelTest, GraphWriteChargesNvramWrites) {
+  auto& cm = CostModel::Get();
+  cm.ChargeGraphWrite(7);
+  EXPECT_EQ(cm.Totals().nvram_writes, 7u);
+}
+
+TEST_F(CostModelTest, AllDramPolicyNeverTouchesNvram) {
+  auto& cm = CostModel::Get();
+  cm.SetAllocPolicy(AllocPolicy::kAllDram);
+  cm.ChargeGraphRead(10);
+  cm.ChargeGraphWrite(10);
+  cm.ChargeWorkRead(10);
+  cm.ChargeWorkWrite(10);
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_reads, 0u);
+  EXPECT_EQ(t.nvram_writes, 0u);
+  EXPECT_EQ(t.dram_reads, 20u);
+  EXPECT_EQ(t.dram_writes, 20u);
+}
+
+TEST_F(CostModelTest, AllNvramPolicyChargesEverythingToNvram) {
+  auto& cm = CostModel::Get();
+  cm.SetAllocPolicy(AllocPolicy::kAllNvram);
+  cm.ChargeWorkRead(4);
+  cm.ChargeWorkWrite(6);
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_reads, 4u);
+  EXPECT_EQ(t.nvram_writes, 6u);
+}
+
+TEST_F(CostModelTest, PsamCostWeighsWritesByOmega) {
+  CostTotals t;
+  t.dram_reads = 100;
+  t.nvram_reads = 50;
+  t.nvram_writes = 10;
+  EXPECT_DOUBLE_EQ(t.PsamCost(1.0), 160.0);
+  EXPECT_DOUBLE_EQ(t.PsamCost(4.0), 190.0);
+  EXPECT_DOUBLE_EQ(t.PsamCost(8.0), 230.0);
+}
+
+TEST_F(CostModelTest, MemoryModeCachesRepeatedAccesses) {
+  auto& cm = CostModel::Get();
+  cm.SetAllocPolicy(AllocPolicy::kMemoryMode);
+  cm.ResetCounters();
+  // First touch misses, second touch of the same address hits.
+  cm.ChargeGraphRead(32, /*addr_hint=*/0);
+  auto t1 = cm.Totals();
+  EXPECT_GT(t1.memory_mode_misses, 0u);
+  cm.ChargeGraphRead(32, /*addr_hint=*/0);
+  auto t2 = cm.Totals();
+  EXPECT_GT(t2.memory_mode_hits, 0u);
+  EXPECT_EQ(t2.memory_mode_misses, t1.memory_mode_misses);
+}
+
+TEST_F(CostModelTest, MemoryModeEvictsOnConflict) {
+  auto& cm = CostModel::Get();
+  cm.SetAllocPolicy(AllocPolicy::kMemoryMode);
+  cm.ResetCounters();
+  const auto& cfg = cm.config();
+  uint64_t stride_words = cfg.memory_mode_lines * cfg.memory_mode_line_words;
+  cm.ChargeGraphRead(1, 0);
+  cm.ChargeGraphRead(1, stride_words);  // same slot, different line: evicts
+  cm.ChargeGraphRead(1, 0);             // misses again
+  auto t = cm.Totals();
+  EXPECT_EQ(t.memory_mode_misses, 3u);
+  EXPECT_EQ(t.memory_mode_hits, 0u);
+}
+
+TEST_F(CostModelTest, InterleavedLayoutMarksRemoteAccesses) {
+  auto& cm = CostModel::Get();
+  cm.SetGraphLayout(GraphLayout::kInterleaved);
+  cm.ResetCounters();
+  // Touch many distinct lines; with >1 emulated socket roughly the lines on
+  // the other socket are remote. The main thread is on socket 0, so lines
+  // with odd line index are remote.
+  const auto& cfg = cm.config();
+  for (uint64_t line = 0; line < 100; ++line) {
+    cm.ChargeGraphRead(1, line * cfg.memory_mode_line_words);
+  }
+  auto t = cm.Totals();
+  EXPECT_EQ(t.nvram_reads, 100u);
+  EXPECT_EQ(t.remote_nvram_accesses, 50u);
+}
+
+TEST_F(CostModelTest, ReplicatedLayoutHasNoRemoteAccesses) {
+  auto& cm = CostModel::Get();
+  cm.ResetCounters();
+  for (uint64_t line = 0; line < 100; ++line) {
+    cm.ChargeGraphRead(1, line * 32);
+  }
+  EXPECT_EQ(cm.Totals().remote_nvram_accesses, 0u);
+}
+
+TEST_F(CostModelTest, EmulatedNanosReflectsAsymmetry) {
+  auto& cm = CostModel::Get();
+  CostTotals reads;
+  reads.nvram_reads = 1000;
+  CostTotals writes;
+  writes.nvram_writes = 1000;
+  double read_ns = cm.EmulatedNanos(reads, 1);
+  double write_ns = cm.EmulatedNanos(writes, 1);
+  EXPECT_DOUBLE_EQ(write_ns / read_ns, cm.config().omega);
+}
+
+TEST_F(CostModelTest, ShardedCountersSumAcrossThreads) {
+  auto& cm = CostModel::Get();
+  cm.ResetCounters();
+  parallel_for(0, 1000, [&](size_t) { cm.ChargeGraphRead(1); }, 1);
+  EXPECT_EQ(cm.Totals().nvram_reads, 1000u);
+}
+
+TEST(MemoryTracker, TracksCurrentAndPeak) {
+  auto& mt = MemoryTracker::Get();
+  mt.ResetPeak();
+  uint64_t base = mt.CurrentBytes();
+  {
+    TrackedAllocation a(1000);
+    EXPECT_EQ(mt.CurrentBytes(), base + 1000);
+    {
+      TrackedAllocation b(500);
+      EXPECT_EQ(mt.CurrentBytes(), base + 1500);
+    }
+    EXPECT_EQ(mt.CurrentBytes(), base + 1000);
+    EXPECT_GE(mt.PeakBytes(), base + 1500);
+  }
+  EXPECT_EQ(mt.CurrentBytes(), base);
+}
+
+TEST(MemoryTracker, ResizeAdjustsReportedSize) {
+  auto& mt = MemoryTracker::Get();
+  uint64_t base = mt.CurrentBytes();
+  TrackedAllocation a(100);
+  a.Resize(400);
+  EXPECT_EQ(mt.CurrentBytes(), base + 400);
+  a.Resize(50);
+  EXPECT_EQ(mt.CurrentBytes(), base + 50);
+}
+
+TEST(AllocPolicyNames, AreDistinct) {
+  EXPECT_STREQ(AllocPolicyName(AllocPolicy::kAllDram), "all-dram");
+  EXPECT_STREQ(AllocPolicyName(AllocPolicy::kGraphNvram), "graph-nvram");
+  EXPECT_STREQ(AllocPolicyName(AllocPolicy::kAllNvram), "all-nvram");
+  EXPECT_STREQ(AllocPolicyName(AllocPolicy::kMemoryMode), "memory-mode");
+}
+
+}  // namespace
+}  // namespace sage::nvram

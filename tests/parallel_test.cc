@@ -1,0 +1,114 @@
+// Tests for the fork-join scheduler and parallel_for.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/parallel.h"
+
+namespace sage {
+namespace {
+
+TEST(Scheduler, HasAtLeastOneWorker) {
+  EXPECT_GE(num_workers(), 1);
+  EXPECT_GE(worker_id(), 0);
+  EXPECT_LT(worker_id(), num_workers());
+}
+
+TEST(Scheduler, ParDoRunsBothBranches) {
+  std::atomic<int> count{0};
+  par_do([&] { count.fetch_add(1); }, [&] { count.fetch_add(2); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Scheduler, NestedParDo) {
+  std::atomic<int> count{0};
+  par_do(
+      [&] {
+        par_do([&] { count.fetch_add(1); }, [&] { count.fetch_add(2); });
+      },
+      [&] {
+        par_do([&] { count.fetch_add(4); }, [&] { count.fetch_add(8); });
+      });
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(Scheduler, DeeplyNestedForkJoin) {
+  // A fork-join tree of depth 12 must complete without deadlock.
+  std::function<int(int)> tree = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    int left = 0, right = 0;
+    par_do([&] { left = tree(depth - 1); }, [&] { right = tree(depth - 1); });
+    return left + right;
+  };
+  EXPECT_EQ(tree(12), 1 << 12);
+}
+
+TEST(ParallelFor, CoversExactlyOnce) {
+  const size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(7, 8, [&](size_t i) {
+    EXPECT_EQ(i, 7u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, RespectsOffsetRange) {
+  std::atomic<uint64_t> sum{0};
+  parallel_for(10, 20, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, ExplicitGranularity) {
+  const size_t n = 10000;
+  std::atomic<uint64_t> sum{0};
+  parallel_for(
+      0, n, [&](size_t i) { sum.fetch_add(i); }, 64);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelFor, NestedLoops) {
+  const size_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, n, [&](size_t i) {
+    parallel_for(0, n, [&](size_t j) { hits[i * n + j].fetch_add(1); });
+  });
+  for (size_t i = 0; i < n * n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(Scheduler, ResetChangesWorkerCount) {
+  Scheduler::Reset(1);
+  EXPECT_EQ(num_workers(), 1);
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  Scheduler::Reset(2);
+  EXPECT_EQ(num_workers(), 2);
+  count.store(0);
+  parallel_for(0, 1000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+  Scheduler::Reset(0);  // back to default
+}
+
+TEST(Scheduler, StressManySmallForks) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(0, 256, [&](size_t) { count.fetch_add(1); }, 1);
+    ASSERT_EQ(count.load(), 256);
+  }
+}
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,147 @@
+// Tests for the shortest-path family: BFS, weighted BFS, Bellman-Ford,
+// widest path, betweenness. Each parallel algorithm is validated against a
+// sequential reference on a sweep of generated graphs.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bellman_ford.h"
+#include "algorithms/betweenness.h"
+#include "algorithms/bfs.h"
+#include "algorithms/reference/sequential.h"
+#include "algorithms/wbfs.h"
+#include "algorithms/widest_path.h"
+#include "graph/builder.h"
+#include "graph/compressed_graph.h"
+#include "graph/generators.h"
+
+namespace sage {
+namespace {
+
+struct GraphCase {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph MakeRmat() { return RmatGraph(10, 20000, 7); }
+Graph MakeUniform() { return UniformRandomGraph(2000, 12000, 3); }
+Graph MakeGrid() { return GridGraph(37, 41); }
+Graph MakeStar() { return StarGraph(3000); }
+Graph MakePath() { return PathGraph(2000); }
+Graph MakeCliques() { return DisjointCliques(20, 12); }
+
+class TraversalGraphs : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(TraversalGraphs, BfsParentsFormValidShortestPathTree) {
+  Graph g = GetParam().make();
+  auto parents = Bfs(g, 0);
+  auto ref_levels = ref::BfsLevels(g, 0);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (ref_levels[v] == std::numeric_limits<uint32_t>::max()) {
+      EXPECT_EQ(parents[v], kNoVertex) << v;
+    } else if (v == 0) {
+      EXPECT_EQ(parents[v], 0u);
+    } else {
+      // Parent must be exactly one level above.
+      ASSERT_NE(parents[v], kNoVertex) << v;
+      EXPECT_EQ(ref_levels[parents[v]] + 1, ref_levels[v]) << v;
+    }
+  }
+}
+
+TEST_P(TraversalGraphs, BfsLevelsMatchReference) {
+  Graph g = GetParam().make();
+  EXPECT_EQ(BfsLevels(g, 0), ref::BfsLevels(g, 0));
+}
+
+TEST_P(TraversalGraphs, WeightedBfsMatchesDijkstra) {
+  Graph g = AddRandomWeights(GetParam().make(), 99);
+  EXPECT_EQ(WeightedBfs(g, 0), ref::Dijkstra(g, 0));
+}
+
+TEST_P(TraversalGraphs, BellmanFordMatchesDijkstra) {
+  Graph g = AddRandomWeights(GetParam().make(), 17);
+  EXPECT_EQ(BellmanFord(g, 0), ref::Dijkstra(g, 0));
+}
+
+TEST_P(TraversalGraphs, WidestPathBothVariantsMatchReference) {
+  Graph g = AddRandomWeights(GetParam().make(), 31);
+  auto expect = ref::WidestPath(g, 0);
+  EXPECT_EQ(WidestPathBF(g, 0), expect);
+  EXPECT_EQ(WidestPathBucketed(g, 0), expect);
+}
+
+TEST_P(TraversalGraphs, BetweennessMatchesBrandes) {
+  Graph g = GetParam().make();
+  auto got = Betweenness(g, 0);
+  auto expect = ref::Betweenness(g, 0);
+  ASSERT_EQ(got.size(), expect.size());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    double scale = std::max(1.0, std::fabs(expect[v]));
+    ASSERT_NEAR(got[v], expect[v], 1e-7 * scale) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, TraversalGraphs,
+    ::testing::Values(GraphCase{"rmat", MakeRmat},
+                      GraphCase{"uniform", MakeUniform},
+                      GraphCase{"grid", MakeGrid},
+                      GraphCase{"star", MakeStar},
+                      GraphCase{"path", MakePath},
+                      GraphCase{"cliques", MakeCliques}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(TraversalCompressed, WeightedBfsOnCompressedGraph) {
+  Graph g = AddRandomWeights(RmatGraph(9, 8000, 5), 7);
+  CompressedGraph cg = CompressedGraph::FromGraph(g, 64);
+  EXPECT_EQ(WeightedBfs(cg, 3), ref::Dijkstra(g, 3));
+}
+
+TEST(TraversalCompressed, BetweennessOnCompressedGraph) {
+  Graph g = RmatGraph(9, 8000, 11);
+  CompressedGraph cg = CompressedGraph::FromGraph(g, 64);
+  auto got = Betweenness(cg, 2);
+  auto expect = ref::Betweenness(g, 2);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NEAR(got[v], expect[v], 1e-6 * std::max(1.0, expect[v]));
+  }
+}
+
+TEST(Traversal, SourceInSmallComponentReachesOnlyIt) {
+  Graph g = DisjointCliques(10, 8);
+  auto levels = BfsLevels(g, 42);  // clique 5
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (v / 8 == 42 / 8) {
+      EXPECT_LE(levels[v], 1u);
+    } else {
+      EXPECT_EQ(levels[v], std::numeric_limits<uint32_t>::max());
+    }
+  }
+}
+
+TEST(Traversal, MultipleSourcesSweep) {
+  Graph g = AddRandomWeights(UniformRandomGraph(500, 4000, 13), 5);
+  for (vertex_id src : {0u, 13u, 200u, 499u}) {
+    ASSERT_EQ(WeightedBfs(g, src), ref::Dijkstra(g, src)) << src;
+    ASSERT_EQ(BellmanFord(g, src), ref::Dijkstra(g, src)) << src;
+  }
+}
+
+TEST(Traversal, NoNvramWritesAcrossAllTraversals) {
+  auto& cm = nvram::CostModel::Get();
+  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
+  Graph g = AddRandomWeights(RmatGraph(9, 8000, 3), 1);
+  cm.ResetCounters();
+  (void)Bfs(g, 0);
+  (void)WeightedBfs(g, 0);
+  (void)BellmanFord(g, 0);
+  (void)WidestPathBucketed(g, 0);
+  (void)Betweenness(g, 0);
+  EXPECT_EQ(cm.Totals().nvram_writes, 0u);
+  EXPECT_GT(cm.Totals().nvram_reads, 0u);
+}
+
+}  // namespace
+}  // namespace sage

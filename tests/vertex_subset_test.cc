@@ -1,0 +1,81 @@
+// Tests for VertexSubset: representations, conversions, mapping.
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/vertex_subset.h"
+
+namespace sage {
+namespace {
+
+TEST(VertexSubset, EmptyAndSingle) {
+  auto e = VertexSubset::Empty(10);
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.size(), 0u);
+  auto s = VertexSubset::Single(10, 3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.is_dense());
+  EXPECT_EQ(s.ids()[0], 3u);
+}
+
+TEST(VertexSubset, AllIsDenseAndFull) {
+  auto a = VertexSubset::All(100);
+  EXPECT_TRUE(a.is_dense());
+  EXPECT_EQ(a.size(), 100u);
+  for (vertex_id v = 0; v < 100; ++v) EXPECT_TRUE(a.Contains(v));
+}
+
+TEST(VertexSubset, SparseToDenseRoundTrip) {
+  auto s = VertexSubset::Sparse(50, {1, 7, 13, 49});
+  s.ToDense();
+  EXPECT_TRUE(s.is_dense());
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+  s.ToSparse();
+  EXPECT_EQ(s.ids(), (std::vector<vertex_id>{1, 7, 13, 49}));
+}
+
+TEST(VertexSubset, DenseToSparsePreservesCount) {
+  std::vector<uint8_t> flags(1000, 0);
+  size_t count = 0;
+  for (size_t v = 0; v < 1000; v += 3) {
+    flags[v] = 1;
+    ++count;
+  }
+  auto d = VertexSubset::Dense(1000, std::move(flags), count);
+  d.ToSparse();
+  EXPECT_EQ(d.size(), count);
+  for (size_t i = 0; i < d.ids().size(); ++i) EXPECT_EQ(d.ids()[i] % 3, 0u);
+}
+
+TEST(VertexSubset, MapVisitsAllMembersOnce) {
+  auto s = VertexSubset::Sparse(10000, {5, 42, 4141, 9999});
+  std::atomic<int> visits{0};
+  std::set<vertex_id> expect{5, 42, 4141, 9999};
+  s.Map([&](vertex_id v) {
+    EXPECT_TRUE(expect.count(v));
+    visits.fetch_add(1);
+  });
+  EXPECT_EQ(visits.load(), 4);
+  s.ToDense();
+  visits.store(0);
+  s.Map([&](vertex_id) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 4);
+}
+
+TEST(VertexSubset, MemoryIsTracked) {
+  auto& mt = nvram::MemoryTracker::Get();
+  uint64_t before = mt.CurrentBytes();
+  {
+    auto s = VertexSubset::Sparse(1 << 20, std::vector<vertex_id>(1000, 1));
+    EXPECT_GE(mt.CurrentBytes(), before + 1000 * sizeof(vertex_id));
+    s.ToDense();  // dense rep of 2^20 vertices is ~1 MB
+    EXPECT_GE(mt.CurrentBytes(), before + (1u << 20));
+  }
+  EXPECT_EQ(mt.CurrentBytes(), before);
+}
+
+}  // namespace
+}  // namespace sage
