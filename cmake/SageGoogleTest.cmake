@@ -1,0 +1,45 @@
+# GoogleTest resolution: prefer the system package, fall back to
+# FetchContent so a bare checkout on a networked machine still builds.
+#
+# After inclusion, the canonical link targets GTest::gtest and
+# GTest::gtest_main exist either way, and gtest_discover_tests() is
+# available.
+
+include(GoogleTest)  # provides gtest_discover_tests
+
+option(SAGE_FORCE_FETCH_GTEST
+  "Skip the system GoogleTest and build it from source (gets sanitizer \
+instrumentation into gtest itself)" OFF)
+
+if(NOT SAGE_FORCE_FETCH_GTEST)
+  find_package(GTest QUIET)
+endif()
+
+if(GTest_FOUND)
+  message(STATUS "Sage: using system GoogleTest")
+  if(NOT SAGE_SANITIZE STREQUAL "off")
+    # The prebuilt library is not instrumented; mixing it with sanitized
+    # code mostly works but can mis-handle std containers passed across
+    # the boundary (ASan container annotations) and hides gtest-internal
+    # races from TSan.
+    message(WARNING
+      "Sage: SAGE_SANITIZE=${SAGE_SANITIZE} is linking the uninstrumented "
+      "system GoogleTest; configure with -DSAGE_FORCE_FETCH_GTEST=ON to "
+      "build an instrumented gtest from source (needs network)")
+  endif()
+else()
+  message(STATUS "Sage: system GoogleTest not found, fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  # Keep gtest out of our warning/install surface.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

@@ -1,0 +1,38 @@
+# Whole-build sanitizer instrumentation, selected with
+#
+#   cmake -B build -S . -DSAGE_SANITIZE=address   (or thread, undefined)
+#
+# The flag instruments every target (library, tests, examples, benches) so
+# that the scheduler's work-stealing paths and the chunked edge-map buffers
+# are checked end to end. `address` and `thread` are mutually exclusive at
+# the compiler level, hence a single-choice cache variable rather than
+# independent options.
+
+set_property(CACHE SAGE_SANITIZE PROPERTY STRINGS off address thread undefined)
+
+if(SAGE_SANITIZE STREQUAL "off")
+  # Nothing to do.
+elseif(SAGE_SANITIZE MATCHES "^(address|thread|undefined)$")
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "SAGE_SANITIZE=${SAGE_SANITIZE} requires GCC or Clang "
+      "(got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  message(STATUS "Sage: instrumenting build with -fsanitize=${SAGE_SANITIZE}")
+  add_compile_options(
+    -fsanitize=${SAGE_SANITIZE}
+    -fno-omit-frame-pointer
+    -g)
+  add_link_options(-fsanitize=${SAGE_SANITIZE})
+  if(SAGE_SANITIZE STREQUAL "undefined")
+    # Most UBSan checks recover by default: they print and continue with
+    # exit code 0, so CTest would report green on detected UB. Make every
+    # finding fatal.
+    add_compile_options(-fno-sanitize-recover=all)
+    add_link_options(-fno-sanitize-recover=all)
+  endif()
+else()
+  message(FATAL_ERROR
+    "SAGE_SANITIZE must be one of off|address|thread|undefined "
+    "(got '${SAGE_SANITIZE}')")
+endif()

@@ -1,0 +1,39 @@
+# Warning configuration for the Sage tree.
+#
+# Two interface targets:
+#   sage::warnings        - the strict set used for everything we compile
+#   sage::warnings_werror - the strict set plus -Werror; applied to src/ so
+#                           library code can never regress, while tests,
+#                           examples, and benches keep warnings visible but
+#                           non-fatal (GoogleTest macros and benchmark glue
+#                           should not be able to break the build on a new
+#                           compiler's warning additions).
+
+add_library(sage_warnings INTERFACE)
+add_library(sage::warnings ALIAS sage_warnings)
+
+add_library(sage_warnings_werror INTERFACE)
+add_library(sage::warnings_werror ALIAS sage_warnings_werror)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  set(_sage_warning_flags
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow
+    -Wnon-virtual-dtor
+    -Wcast-qual
+    -Wformat=2
+    -Wundef)
+  target_compile_options(sage_warnings INTERFACE ${_sage_warning_flags})
+  target_compile_options(sage_warnings_werror INTERFACE ${_sage_warning_flags})
+  if(SAGE_WERROR)
+    target_compile_options(sage_warnings_werror INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(sage_warnings INTERFACE /W4)
+  target_compile_options(sage_warnings_werror INTERFACE /W4)
+  if(SAGE_WERROR)
+    target_compile_options(sage_warnings_werror INTERFACE /WX)
+  endif()
+endif()

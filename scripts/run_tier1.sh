@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run every test suite.
+# Usage: scripts/run_tier1.sh [build-dir] [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+# Only treat $1 as the build dir when it isn't a cmake flag; otherwise
+# `run_tier1.sh -DSAGE_SANITIZE=address` would silently configure a plain
+# build into a directory named after the flag.
+BUILD_DIR="build"
+if [[ $# -gt 0 && $1 != -* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

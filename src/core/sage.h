@@ -9,6 +9,7 @@
 // See README.md for a tour and examples/ for runnable programs.
 #pragma once
 
+#include "algorithms/algorithms.h"
 #include "common/flags.h"
 #include "common/status.h"
 #include "common/timer.h"

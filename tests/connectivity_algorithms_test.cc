@@ -114,7 +114,7 @@ INSTANTIATE_TEST_SUITE_P(Graphs, ConnectivityGraphs,
                                            ConnCase{"cliques", ConnCliques},
                                            ConnCase{"grid", ConnGrid},
                                            ConnCase{"sparse", ConnSparse}),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(Connectivity, SeedsGiveIdenticalPartitions) {
   Graph g = RmatGraph(10, 15000, 21);
@@ -223,7 +223,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BiccCase{"rmat", BiccRmat}, BiccCase{"grid", BiccGrid},
                       BiccCase{"cliques", BiccCliques},
                       BiccCase{"bridges", BiccBridges}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(ConnectivityCosts, NoNvramWrites) {
   auto& cm = nvram::CostModel::Get();

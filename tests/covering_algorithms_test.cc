@@ -65,7 +65,7 @@ INSTANTIATE_TEST_SUITE_P(
                       CoverCase{"grid", CovGrid}, CoverCase{"star", CovStar},
                       CoverCase{"complete", CovComplete},
                       CoverCase{"cliques", CovCliques}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(Mis, DifferentSeedsAllValid) {
   Graph g = RmatGraph(9, 8000, 1);

@@ -1,0 +1,114 @@
+// Tests for SAGE_NUM_THREADS environment handling in the scheduler
+// (src/parallel/scheduler.cc). The env var is read whenever the pool is
+// (re)built with the default count, so each case mutates the variable and
+// forces a rebuild with Scheduler::Reset(0). This suite mutates process
+// state and therefore lives in its own binary, apart from parallel_test.
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "parallel/scheduler.h"
+
+namespace sage {
+namespace {
+
+/// Worker count the scheduler should pick with no (usable) env override.
+int HardwareDefault() {
+  unsigned hw = std::thread::hardware_concurrency();
+  int n = hw == 0 ? 1 : static_cast<int>(hw);
+  return n > Scheduler::kMaxWorkers ? Scheduler::kMaxWorkers : n;
+}
+
+/// Saves SAGE_NUM_THREADS around each test and restores the default pool
+/// afterwards so suite order cannot leak between cases.
+class SchedulerEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("SAGE_NUM_THREADS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+  }
+
+  void TearDown() override {
+    if (had_prev_) {
+      ::setenv("SAGE_NUM_THREADS", prev_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("SAGE_NUM_THREADS");
+    }
+    Scheduler::Reset(0);
+  }
+
+  static void SetEnvAndRebuild(const char* value) {
+    ::setenv("SAGE_NUM_THREADS", value, /*overwrite=*/1);
+    Scheduler::Reset(0);
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST_F(SchedulerEnv, UnsetUsesHardwareConcurrency) {
+  ::unsetenv("SAGE_NUM_THREADS");
+  Scheduler::Reset(0);
+  EXPECT_EQ(Scheduler::Get().num_workers(), HardwareDefault());
+}
+
+TEST_F(SchedulerEnv, PositiveValueIsHonored) {
+  SetEnvAndRebuild("3");
+  EXPECT_EQ(Scheduler::Get().num_workers(), 3);
+}
+
+TEST_F(SchedulerEnv, ZeroFallsBackToHardware) {
+  SetEnvAndRebuild("0");
+  EXPECT_EQ(Scheduler::Get().num_workers(), HardwareDefault());
+}
+
+TEST_F(SchedulerEnv, NegativeFallsBackToHardware) {
+  SetEnvAndRebuild("-4");
+  EXPECT_EQ(Scheduler::Get().num_workers(), HardwareDefault());
+}
+
+TEST_F(SchedulerEnv, GarbageFallsBackToHardware) {
+  SetEnvAndRebuild("not-a-number");
+  EXPECT_EQ(Scheduler::Get().num_workers(), HardwareDefault());
+}
+
+TEST_F(SchedulerEnv, EmptyStringFallsBackToHardware) {
+  SetEnvAndRebuild("");
+  EXPECT_EQ(Scheduler::Get().num_workers(), HardwareDefault());
+}
+
+TEST_F(SchedulerEnv, ValueAboveHardwareIsHonoredUpToCap) {
+  // The env var deliberately overrides hardware_concurrency (useful for
+  // oversubscription experiments); only kMaxWorkers caps it.
+  int hw = HardwareDefault();
+  int over = hw * 2;
+  if (over > Scheduler::kMaxWorkers) over = Scheduler::kMaxWorkers;
+  SetEnvAndRebuild(std::to_string(over).c_str());
+  EXPECT_EQ(Scheduler::Get().num_workers(), over);
+}
+
+TEST_F(SchedulerEnv, HugeValueClampsToMaxWorkers) {
+  SetEnvAndRebuild("100000");
+  EXPECT_EQ(Scheduler::Get().num_workers(), Scheduler::kMaxWorkers);
+}
+
+TEST_F(SchedulerEnv, ExplicitResetOverridesEnv) {
+  ::setenv("SAGE_NUM_THREADS", "3", /*overwrite=*/1);
+  Scheduler::Reset(5);
+  EXPECT_EQ(Scheduler::Get().num_workers(), 5);
+}
+
+TEST_F(SchedulerEnv, PoolStillRunsWorkAfterEnvRebuild) {
+  SetEnvAndRebuild("2");
+  std::atomic<int> ran{0};
+  Scheduler::Get().ParDo([&] { ran.fetch_add(1); }, [&] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+}  // namespace
+}  // namespace sage

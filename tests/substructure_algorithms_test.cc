@@ -86,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SubCase{"complete", SubComplete},
                       SubCase{"cliques", SubCliques},
                       SubCase{"star", SubStar}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(KCore, CliqueCorenessIsSizeMinusOne) {
   Graph g = DisjointCliques(10, 9);

@@ -91,7 +91,7 @@ INSTANTIATE_TEST_SUITE_P(
                       GraphCase{"star", MakeStar},
                       GraphCase{"path", MakePath},
                       GraphCase{"cliques", MakeCliques}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(TraversalCompressed, WeightedBfsOnCompressedGraph) {
   Graph g = AddRandomWeights(RmatGraph(9, 8000, 5), 7);
