@@ -3,9 +3,13 @@
 // libvmmalloc-style, pure DRAM), across a sweep of write-asymmetry values
 // omega, and prints the PSAM cost and projected device time for each.
 // This is the example to read to understand the emulation substrate.
+//
+// Sage rows go through the engine API — a RunContext per (policy, omega)
+// point, so the device sweep never touches the CostModel singleton. The
+// GBBS-style rows run the mutating baselines, which are not registry
+// algorithms; they are measured manually against the same counters.
 #include <cstdio>
 
-#include "algorithms/algorithms.h"
 #include "baselines/gbbs_algorithms.h"
 #include "core/sage.h"
 
@@ -13,8 +17,31 @@ using namespace sage;
 
 namespace {
 
-void RunOne(const char* label, const Graph& g, nvram::AllocPolicy policy,
-            bool mutating, double omega) {
+void PrintRow(const char* label, double omega, double wall_seconds,
+              double psam_cost, double device_ms, uint64_t nvram_writes) {
+  std::printf("%-26s omega=%4.1f  wall=%7.3fs  psam-cost=%10.1fM  "
+              "device-time=%9.1fms  nvram_w=%llu\n",
+              label, omega, wall_seconds, psam_cost / 1e6, device_ms,
+              static_cast<unsigned long long>(nvram_writes));
+}
+
+void RunSage(const char* label, const Graph& g, nvram::AllocPolicy policy,
+             double omega) {
+  RunContext ctx;
+  ctx.policy = policy;
+  ctx.omega = omega;
+  auto run = AlgorithmRegistry::Run("triangle-count", g, ctx);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return;
+  }
+  const RunReport& r = run.ValueOrDie();
+  PrintRow(label, omega, r.wall_seconds, r.PsamCost(),
+           r.device_seconds * 1e3, r.cost.nvram_writes);
+}
+
+void RunMutatingBaseline(const char* label, const Graph& g,
+                         nvram::AllocPolicy policy, double omega) {
   auto& cm = nvram::CostModel::Get();
   auto cfg = cm.config();
   cfg.omega = omega;
@@ -22,18 +49,12 @@ void RunOne(const char* label, const Graph& g, nvram::AllocPolicy policy,
   cm.SetAllocPolicy(policy);
   cm.ResetCounters();
   Timer t;
-  if (mutating) {
-    (void)baselines::GbbsTriangleCount(g);
-  } else {
-    (void)TriangleCount(g);
-  }
+  (void)baselines::GbbsTriangleCount(g);
   double wall = t.Seconds();
   auto totals = cm.Totals();
-  double emu_ms = cm.EmulatedNanos(totals, num_workers()) / 1e6;
-  std::printf("%-26s omega=%4.1f  wall=%7.3fs  psam-cost=%10.1fM  "
-              "device-time=%9.1fms  nvram_w=%llu\n",
-              label, omega, wall, totals.PsamCost(omega) / 1e6, emu_ms,
-              static_cast<unsigned long long>(totals.nvram_writes));
+  PrintRow(label, omega, wall, totals.PsamCost(omega),
+           cm.EmulatedNanos(totals, num_workers()) / 1e6,
+           totals.nvram_writes);
 }
 
 }  // namespace
@@ -49,16 +70,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.num_edges()));
 
   for (double omega : {1.0, 4.0, 16.0}) {
-    RunOne("Sage (App-Direct)", g, nvram::AllocPolicy::kGraphNvram, false,
-           omega);
-    RunOne("Sage (pure DRAM)", g, nvram::AllocPolicy::kAllDram, false,
-           omega);
-    RunOne("GBBS-style (App-Direct)", g, nvram::AllocPolicy::kGraphNvram,
-           true, omega);
-    RunOne("GBBS-style (MemoryMode)", g, nvram::AllocPolicy::kMemoryMode,
-           true, omega);
-    RunOne("GBBS-style (libvmmalloc)", g, nvram::AllocPolicy::kAllNvram,
-           true, omega);
+    RunSage("Sage (App-Direct)", g, nvram::AllocPolicy::kGraphNvram, omega);
+    RunSage("Sage (pure DRAM)", g, nvram::AllocPolicy::kAllDram, omega);
+    RunMutatingBaseline("GBBS-style (App-Direct)", g,
+                        nvram::AllocPolicy::kGraphNvram, omega);
+    RunMutatingBaseline("GBBS-style (MemoryMode)", g,
+                        nvram::AllocPolicy::kMemoryMode, omega);
+    RunMutatingBaseline("GBBS-style (libvmmalloc)", g,
+                        nvram::AllocPolicy::kAllNvram, omega);
     std::printf("\n");
   }
   std::printf("Sage's device time is flat in omega (zero NVRAM writes); "

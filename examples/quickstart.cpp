@@ -1,11 +1,11 @@
-// Quickstart: build a graph, run a few algorithms, inspect the PSAM cost
-// counters. This is the five-minute tour of the public API.
+// Quickstart: build a graph, run algorithms through the Engine facade,
+// inspect the PSAM cost counters. This is the five-minute tour of the
+// public API.
 //
 //   ./quickstart                  # generated power-law graph
 //   ./quickstart -graph my.adj    # Ligra AdjacencyGraph file
 #include <cstdio>
 
-#include "algorithms/algorithms.h"
 #include "core/sage.h"
 
 using namespace sage;
@@ -16,8 +16,7 @@ int main(int argc, char** argv) {
   // 1. Get a graph: from a file, or generated (deterministic per seed).
   Graph g;
   if (cmd.Has("graph")) {
-    auto result = ReadAdjacencyGraph(cmd.GetString("graph"),
-                                     /*symmetric=*/true);
+    auto result = ReadGraphAuto(cmd.GetString("graph"), /*symmetric=*/true);
     if (!result.ok()) {
       std::fprintf(stderr, "failed to load graph: %s\n",
                    result.status().ToString().c_str());
@@ -32,45 +31,31 @@ int main(int argc, char** argv) {
   auto stats = ComputeStats(g);
   std::printf("graph: %s\n", stats.ToString().c_str());
 
-  // 2. The graph is NVRAM-resident and read-only; algorithms charge the
-  //    PSAM cost model as they run.
-  auto& cm = nvram::CostModel::Get();
-  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
-  cm.ResetCounters();
+  // 2. An Engine owns the graph plus a RunContext. The default context is
+  //    the paper's Sage-NVRAM configuration: the graph is NVRAM-resident
+  //    and read-only, mutable state lives in DRAM, and every run is
+  //    charged to the PSAM cost model.
+  Engine engine(std::move(g));
 
-  // 3. Run algorithms through the public API.
-  {
-    ScopedTimer t("BFS");
-    auto parents = Bfs(g, /*src=*/0);
-    size_t reached = count_if(parents, [](vertex_id p) {
-      return p != kNoVertex;
-    });
-    std::printf("  BFS reached %zu of %u vertices\n", reached,
-                g.num_vertices());
-  }
-  {
-    ScopedTimer t("Connectivity");
-    auto labels = Connectivity(g);
-    auto uniq = parallel_sort(labels);
-    std::printf("  %zu connected components\n",
-                unique_sorted(uniq).size());
-  }
-  {
-    ScopedTimer t("Triangle counting");
-    auto tc = TriangleCount(g);
-    std::printf("  %llu triangles\n",
-                static_cast<unsigned long long>(tc.triangles));
-  }
-  {
-    ScopedTimer t("PageRank");
-    auto pr = PageRank(g, 1e-6, 50);
-    std::printf("  converged in %llu iterations\n",
-                static_cast<unsigned long long>(pr.iterations));
+  // 3. Run algorithms by registry name; each run returns a RunReport with
+  //    the output, a summary, wall time, and the PSAM counter deltas.
+  nvram::CostTotals totals;
+  for (const char* algo :
+       {"bfs", "connectivity", "triangle-count", "pagerank"}) {
+    auto run = engine.Run(algo);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algo,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    const RunReport& report = run.ValueOrDie();
+    std::printf("  %-16s %8.4f s   %s\n", algo, report.wall_seconds,
+                report.summary.c_str());
+    totals += report.cost;
   }
 
   // 4. The semi-asymmetric discipline, verified by the counters: plenty of
   //    NVRAM reads, zero NVRAM writes.
-  auto totals = cm.Totals();
   std::printf("\nPSAM counters: %s\n", totals.ToString().c_str());
   std::printf("NVRAM writes: %llu (Sage's invariant: always 0)\n",
               static_cast<unsigned long long>(totals.nvram_writes));

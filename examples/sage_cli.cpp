@@ -1,18 +1,20 @@
-// sage_cli: command-line driver for the Sage engine. Runs any of the 18
-// algorithms on a graph loaded from disk (Ligra AdjacencyGraph or edge
-// list) or generated on the fly, under any device configuration, and
-// reports time plus PSAM counters.
+// sage_cli: command-line driver for the Sage engine. Runs any registered
+// algorithm on a graph loaded from disk (Ligra AdjacencyGraph or edge
+// list, auto-detected) or generated on the fly, under any device
+// configuration, and reports time plus PSAM counters — human-readable by
+// default, or as a machine-readable RunReport with -json.
 //
 //   sage_cli -algo bfs -graph web.adj -src 5
 //   sage_cli -algo kcore -gen rmat -logn 20 -edges 16000000
 //   sage_cli -algo pagerank -gen rmat -policy memory-mode -threads 4
+//   sage_cli -algo triangle-count -gen rmat -json
 //   sage_cli -list
+//
+// The algorithm set comes from sage::AlgorithmRegistry; this binary holds
+// no algorithm table of its own.
 #include <cstdio>
-#include <functional>
-#include <map>
 #include <string>
 
-#include "algorithms/algorithms.h"
 #include "core/sage.h"
 
 using namespace sage;
@@ -21,11 +23,10 @@ namespace {
 
 Result<Graph> LoadGraph(const CommandLine& cmd) {
   if (cmd.Has("graph")) {
-    std::string path = cmd.GetString("graph");
-    if (path.size() > 4 && path.substr(path.size() - 4) == ".adj") {
-      return ReadAdjacencyGraph(path, /*symmetric=*/true);
-    }
-    return ReadEdgeList(path, cmd.Has("weighted"));
+    // -weighted forces the weight column on edge lists whose layout
+    // defeats column sniffing (adjacency headers still win).
+    return ReadGraphAuto(cmd.GetString("graph"), /*symmetric=*/true,
+                         /*force_weighted=*/cmd.Has("weighted"));
   }
   std::string gen = cmd.GetString("gen", "rmat");
   int log_n = static_cast<int>(cmd.GetInt("logn", 16));
@@ -43,11 +44,17 @@ Result<Graph> LoadGraph(const CommandLine& cmd) {
                                  "' (rmat|uniform|grid)");
 }
 
-nvram::AllocPolicy ParsePolicy(const std::string& name) {
-  if (name == "all-dram") return nvram::AllocPolicy::kAllDram;
-  if (name == "all-nvram") return nvram::AllocPolicy::kAllNvram;
-  if (name == "memory-mode") return nvram::AllocPolicy::kMemoryMode;
-  return nvram::AllocPolicy::kGraphNvram;
+void PrintUsage() {
+  std::printf(
+      "usage: sage_cli -algo <name> [-graph file [-weighted] | -gen "
+      "rmat|uniform|grid -logn N -edges M] [-src V]\n"
+      "                [-policy %s] [-threads T] [-omega W] [-json]\n"
+      "algorithms:",
+      AllocPolicyChoices());
+  for (const auto& entry : AlgorithmRegistry::Get().entries()) {
+    std::printf(" %s", entry.info.name.c_str());
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -55,142 +62,64 @@ nvram::AllocPolicy ParsePolicy(const std::string& name) {
 int main(int argc, char** argv) {
   CommandLine cmd(argc, argv);
 
-  // Algorithm registry: name -> runner(graph, weighted graph, src).
-  using Runner =
-      std::function<std::string(const Graph&, const Graph&, vertex_id)>;
-  std::map<std::string, Runner> algos;
-  algos["bfs"] = [](const Graph& g, const Graph&, vertex_id src) {
-    auto p = Bfs(g, src);
-    size_t reached = count_if(p, [](vertex_id x) { return x != kNoVertex; });
-    return "reached=" + std::to_string(reached);
-  };
-  algos["wbfs"] = [](const Graph&, const Graph& gw, vertex_id src) {
-    auto d = WeightedBfs(gw, src);
-    size_t reached = count_if(d, [](uint64_t x) { return x != kInfDist; });
-    return "reached=" + std::to_string(reached);
-  };
-  algos["bellman-ford"] = [](const Graph&, const Graph& gw, vertex_id src) {
-    auto d = BellmanFord(gw, src);
-    size_t reached = count_if(d, [](uint64_t x) { return x != kInfDist; });
-    return "reached=" + std::to_string(reached);
-  };
-  algos["widest-path"] = [](const Graph&, const Graph& gw, vertex_id src) {
-    auto c = WidestPathBucketed(gw, src);
-    size_t reached = count_if(c, [](uint64_t x) { return x > 0; });
-    return "reached=" + std::to_string(reached);
-  };
-  algos["betweenness"] = [](const Graph& g, const Graph&, vertex_id src) {
-    auto bc = Betweenness(g, src);
-    double best = reduce_max<double>(
-        bc.size(), [&](size_t v) { return bc[v]; }, 0.0);
-    return "max_dependency=" + std::to_string(best);
-  };
-  algos["spanner"] = [](const Graph& g, const Graph&, vertex_id) {
-    return "spanner_edges=" + std::to_string(Spanner(g).size());
-  };
-  algos["ldd"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto l = LowDiameterDecomposition(g, 0.2, 1);
-    return "clusters=" + std::to_string(l.num_clusters);
-  };
-  algos["connectivity"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto labels = parallel_sort(Connectivity(g));
-    return "components=" + std::to_string(unique_sorted(labels).size());
-  };
-  algos["spanning-forest"] = [](const Graph& g, const Graph&, vertex_id) {
-    return "forest_edges=" + std::to_string(SpanningForest(g).size());
-  };
-  algos["biconnectivity"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto bicc = Biconnectivity(g);
-    std::vector<vertex_id> labels;
-    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
-      if (bicc.node_label[v] != kNoVertex) labels.push_back(bicc.node_label[v]);
+  if (cmd.Has("list-names")) {
+    // One name per line, for scripts (the CTest smoke matrix).
+    for (const auto& entry : AlgorithmRegistry::Get().entries()) {
+      std::printf("%s\n", entry.info.name.c_str());
     }
-    auto sorted = parallel_sort(labels);
-    return "bicc_components=" + std::to_string(unique_sorted(sorted).size());
-  };
-  algos["mis"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto mis = MaximalIndependentSet(g, 1);
-    return "mis_size=" + std::to_string(count_if(
-               mis, [](uint8_t m) { return m == 1; }));
-  };
-  algos["maximal-matching"] = [](const Graph& g, const Graph&, vertex_id) {
-    return "matched_pairs=" + std::to_string(MaximalMatching(g, 1).size());
-  };
-  algos["coloring"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto c = GraphColoring(g, 1);
-    uint32_t palette = 1 + reduce_max<uint32_t>(
-        c.size(), [&](size_t v) { return c[v]; }, 0);
-    return "colors=" + std::to_string(palette);
-  };
-  algos["set-cover"] = [](const Graph& g, const Graph&, vertex_id) {
-    return "cover_size=" + std::to_string(ApproximateSetCover(g).size());
-  };
-  algos["kcore"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto r = KCore(g);
-    return "k_max=" + std::to_string(r.max_core) +
-           " rounds=" + std::to_string(r.rounds);
-  };
-  algos["densest-subgraph"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto r = ApproxDensestSubgraph(g);
-    return "density=" + std::to_string(r.density) +
-           " members=" + std::to_string(r.members.size());
-  };
-  algos["triangle-count"] = [](const Graph& g, const Graph&, vertex_id) {
-    return "triangles=" + std::to_string(TriangleCount(g).triangles);
-  };
-  algos["pagerank"] = [](const Graph& g, const Graph&, vertex_id) {
-    auto r = PageRank(g, 1e-6, 100);
-    return "iterations=" + std::to_string(r.iterations);
-  };
-
+    return 0;
+  }
   if (cmd.Has("list") || !cmd.Has("algo")) {
-    std::printf("usage: sage_cli -algo <name> [-graph file.adj | -gen "
-                "rmat|uniform|grid -logn N -edges M] [-src V]\n"
-                "                [-policy graph-nvram|all-dram|all-nvram|"
-                "memory-mode] [-threads T] [-omega W]\nalgorithms:");
-    for (const auto& [name, fn] : algos) std::printf(" %s", name.c_str());
-    std::printf("\n");
+    PrintUsage();
     return cmd.Has("list") ? 0 : 1;
   }
+
   std::string algo = cmd.GetString("algo");
-  auto it = algos.find(algo);
-  if (it == algos.end()) {
+  if (AlgorithmRegistry::Get().Find(algo) == nullptr) {
     std::fprintf(stderr, "unknown algorithm '%s' (try -list)\n",
                  algo.c_str());
     return 1;
   }
-  if (cmd.Has("threads")) {
-    Scheduler::Reset(static_cast<int>(cmd.GetInt("threads")));
+
+  RunContext ctx;
+  auto policy = ParseAllocPolicy(cmd.GetString("policy", "graph-nvram"));
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
   }
+  ctx.policy = policy.ValueOrDie();
+  ctx.omega = cmd.GetDouble("omega", ctx.omega);
+  ctx.num_threads = static_cast<int>(cmd.GetInt("threads", 0));
+  // Apply the thread budget before loading so generation/building honor it
+  // too (the run itself would apply it, but only after the graph exists).
+  if (ctx.num_threads > 0) Scheduler::Reset(ctx.num_threads);
+
   auto loaded = LoadGraph(cmd);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  Graph g = loaded.TakeValue();
-  // Weighted algorithms need weights; synthesize them when absent.
-  Graph gw = g.weighted() ? g : AddRandomWeights(g, 99);
-  vertex_id src = static_cast<vertex_id>(cmd.GetInt("src", 0));
-  if (src >= g.num_vertices()) src = 0;
+  Engine engine(loaded.TakeValue(), ctx);
 
-  auto& cm = nvram::CostModel::Get();
-  auto cfg = cm.config();
-  cfg.omega = cmd.GetDouble("omega", cfg.omega);
-  cm.SetConfig(cfg);
-  cm.SetAllocPolicy(ParsePolicy(cmd.GetString("policy", "graph-nvram")));
-  cm.ResetCounters();
+  RunParams params;
+  params.source = static_cast<vertex_id>(cmd.GetInt("src", 0));
 
-  auto stats = ComputeStats(g);
-  std::printf("graph: %s\n", stats.ToString().c_str());
-  Timer t;
-  std::string result = it->second(g, gw, src);
-  double secs = t.Seconds();
-  auto totals = cm.Totals();
-  std::printf("%s: %s\n", algo.c_str(), result.c_str());
-  std::printf("time: %.4fs on %d threads | policy=%s omega=%.1f\n", secs,
-              num_workers(), nvram::AllocPolicyName(cm.alloc_policy()),
-              cm.config().omega);
-  std::printf("psam: %s | device-time=%.1fms\n", totals.ToString().c_str(),
-              cm.EmulatedNanos(totals, num_workers()) / 1e6);
+  const bool json = cmd.Has("json");
+  if (!json) {
+    auto stats = ComputeStats(engine.graph());
+    std::printf("graph: %s\n", stats.ToString().c_str());
+  }
+
+  auto run = engine.Run(algo, params);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const RunReport& report = run.ValueOrDie();
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s", report.ToString().c_str());
+  }
   return 0;
 }

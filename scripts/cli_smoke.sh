@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke-tests sage_cli against the algorithm registry. Used by CTest (see
+# examples/CMakeLists.txt) so the CLI can never silently drift from the
+# registry: one test per algorithm runs it on a small generated graph and
+# validates the -json RunReport, and a coverage test fails whenever the
+# registry's -list-names differs from the list the matrix was built from.
+#
+#   cli_smoke.sh <sage_cli> <algo>            run one algorithm, validate JSON
+#   cli_smoke.sh <sage_cli> --all             enumerate -list-names, run each
+#   cli_smoke.sh <sage_cli> --expect "a b c"  fail unless -list-names == list
+set -u
+
+CLI=$1
+MODE=$2
+
+run_one() {
+  local name=$1
+  local out
+  out=$("$CLI" -algo "$name" -gen rmat -logn 10 -edges 8000 -src 1 -json) || {
+    echo "FAIL $name: sage_cli exited nonzero"
+    return 1
+  }
+  case $out in
+    "{"*"}") ;;
+    *) echo "FAIL $name: output is not a JSON object: $out"; return 1 ;;
+  esac
+  printf '%s' "$out" | grep -q "\"algorithm\": \"$name\"" || {
+    echo "FAIL $name: JSON lacks \"algorithm\": \"$name\""
+    return 1
+  }
+  printf '%s' "$out" | grep -q '"counters"' || {
+    echo "FAIL $name: JSON lacks the counters block"
+    return 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$out" | python3 -m json.tool >/dev/null || {
+      echo "FAIL $name: python3 json.tool rejected the output"
+      return 1
+    }
+  fi
+  echo "ok $name"
+}
+
+case $MODE in
+  --all)
+    names=$("$CLI" -list-names) || { echo "FAIL: -list-names exited nonzero"; exit 1; }
+    [ -n "$names" ] || { echo "FAIL: -list-names printed nothing"; exit 1; }
+    fail=0
+    for name in $names; do
+      run_one "$name" || fail=1
+    done
+    exit $fail
+    ;;
+  --expect)
+    want=$3
+    got=$("$CLI" -list-names | tr '\n' ' ' | sed 's/ *$//')
+    if [ "$got" != "$want" ]; then
+      echo "FAIL: registry and smoke matrix drifted"
+      echo " want: $want"
+      echo "  got: $got"
+      echo "update SAGE_CLI_SMOKE_ALGOS in examples/CMakeLists.txt"
+      exit 1
+    fi
+    exit 0
+    ;;
+  *)
+    run_one "$MODE"
+    ;;
+esac

@@ -1,0 +1,58 @@
+// sage::Engine: the facade bundling a graph with a RunContext.
+//
+// An Engine owns the (NVRAM-resident, read-only) input graph and the run
+// configuration, and exposes one call for everything:
+//
+//   sage::Engine engine(sage::RmatGraph(20, 1 << 24, /*seed=*/1));
+//   auto bfs = engine.Run("bfs");                       // default params
+//   auto sssp = engine.Run("bellman-ford", {.source = 5});
+//   if (sssp.ok()) std::puts(sssp.ValueOrDie().ToJson().c_str());
+//
+// The engine lazily synthesizes and caches the weighted twin used by the
+// weighted algorithms when the input graph carries no weights, so repeated
+// weighted runs pay the synthesis cost once.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "api/registry.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace sage {
+
+class Engine {
+ public:
+  explicit Engine(Graph graph, RunContext ctx = RunContext{})
+      : graph_(std::move(graph)), ctx_(ctx) {}
+
+  /// Runs a registered algorithm on the engine's graph under its context.
+  Result<RunReport> Run(const std::string& algorithm,
+                        const RunParams& params = RunParams{}) {
+    const AlgorithmInfo* info = AlgorithmRegistry::Get().Find(algorithm);
+    if (info != nullptr && info->needs_weights && !graph_.weighted()) {
+      if (!weighted_.has_value() || weighted_seed_ != params.weight_seed) {
+        weighted_ = AddRandomWeights(graph_, params.weight_seed);
+        weighted_seed_ = params.weight_seed;
+      }
+      return AlgorithmRegistry::Run(algorithm, graph_, *weighted_, ctx_,
+                                    params);
+    }
+    return AlgorithmRegistry::Run(algorithm, graph_, ctx_, params);
+  }
+
+  const Graph& graph() const { return graph_; }
+  RunContext& context() { return ctx_; }
+  const RunContext& context() const { return ctx_; }
+
+ private:
+  Graph graph_;
+  /// Cached weighted twin for weighted algorithms on unweighted inputs.
+  std::optional<Graph> weighted_;
+  uint64_t weighted_seed_ = 0;
+  RunContext ctx_;
+};
+
+}  // namespace sage

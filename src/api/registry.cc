@@ -1,0 +1,181 @@
+#include "api/registry.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/timer.h"
+#include "graph/builder.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/parallel.h"
+
+namespace sage {
+
+namespace {
+
+bool IsKebabCase(const std::string& name) {
+  if (name.empty() || name.front() == '-' || name.back() == '-') return false;
+  bool prev_dash = false;
+  for (char c : name) {
+    if (c == '-') {
+      if (prev_dash) return false;
+      prev_dash = true;
+      continue;
+    }
+    prev_dash = false;
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AlgorithmRegistry& AlgorithmRegistry::Get() {
+  static AlgorithmRegistry& registry = *[] {
+    auto* r = new AlgorithmRegistry();
+    internal::RegisterBuiltinAlgorithms(*r);
+    return r;
+  }();
+  return registry;
+}
+
+Status AlgorithmRegistry::Register(AlgorithmInfo info, Runner runner,
+                                   Summarizer summarize) {
+  if (!IsKebabCase(info.name)) {
+    return Status::InvalidArgument("algorithm name '" + info.name +
+                                   "' is not kebab-case");
+  }
+  if (index_.count(info.name) > 0) {
+    return Status::InvalidArgument("algorithm '" + info.name +
+                                   "' is already registered");
+  }
+  if (runner == nullptr || summarize == nullptr) {
+    return Status::InvalidArgument(
+        "algorithm '" + info.name +
+        "' registered without a runner or summarizer");
+  }
+  index_[info.name] = entries_.size();
+  entries_.push_back(
+      Entry{std::move(info), std::move(runner), std::move(summarize)});
+  return Status::OK();
+}
+
+const AlgorithmRegistry::Entry* AlgorithmRegistry::FindEntry(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+const AlgorithmInfo* AlgorithmRegistry::Find(const std::string& name) const {
+  const Entry* e = FindEntry(name);
+  return e == nullptr ? nullptr : &e->info;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.info.name);
+  return names;
+}
+
+Result<RunReport> AlgorithmRegistry::Run(const std::string& name,
+                                         const Graph& g,
+                                         const RunContext& ctx,
+                                         const RunParams& params) {
+  return RunImpl(name, g, /*weighted_twin=*/nullptr, ctx, params);
+}
+
+Result<RunReport> AlgorithmRegistry::Run(const std::string& name,
+                                         const Graph& g, const Graph& weighted,
+                                         const RunContext& ctx,
+                                         const RunParams& params) {
+  return RunImpl(name, g, &weighted, ctx, params);
+}
+
+Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
+                                             const Graph& g,
+                                             const Graph* weighted_twin,
+                                             const RunContext& ctx,
+                                             const RunParams& params) {
+  AlgorithmRegistry& reg = Get();
+  const Entry* entry = reg.FindEntry(name);
+  if (entry == nullptr) {
+    std::string names;
+    for (const Entry& e : reg.entries_) {
+      if (!names.empty()) names += ' ';
+      names += e.info.name;
+    }
+    return Status::NotFound("unknown algorithm '" + name +
+                            "' (registered: " + names + ")");
+  }
+  const AlgorithmInfo& info = entry->info;
+  if (info.needs_source && params.source >= g.num_vertices()) {
+    return Status::InvalidArgument(
+        name + ": source " + std::to_string(params.source) +
+        " out of range for " + std::to_string(g.num_vertices()) +
+        " vertices");
+  }
+  if (info.requires_symmetric && !g.symmetric()) {
+    return Status::InvalidArgument(name + " requires a symmetric graph");
+  }
+
+  // Weight synthesis happens before the counter frame: preparing the input
+  // is not part of the algorithm's PSAM cost (the pre-registry drivers
+  // likewise built the weighted twin before resetting the counters).
+  Graph synthesized;
+  const Graph* gw = &g;
+  if (info.needs_weights && !g.weighted()) {
+    if (weighted_twin != nullptr && weighted_twin->weighted()) {
+      gw = weighted_twin;
+    } else {
+      synthesized = AddRandomWeights(g, params.weight_seed);
+      gw = &synthesized;
+    }
+  }
+
+  auto& cm = nvram::CostModel::Get();
+  if (ctx.num_threads > 0 && ctx.num_threads != num_workers()) {
+    Scheduler::Reset(ctx.num_threads);
+  }
+  const nvram::EmulationConfig prev_config = cm.config();
+  const nvram::AllocPolicy prev_policy = cm.alloc_policy();
+  const nvram::GraphLayout prev_layout = cm.graph_layout();
+  nvram::EmulationConfig config = prev_config;
+  config.omega = ctx.omega;
+  cm.SetConfig(config);
+  cm.SetAllocPolicy(ctx.policy);
+  cm.SetGraphLayout(ctx.graph_layout);
+
+  auto& mt = nvram::MemoryTracker::Get();
+  const uint64_t mem_base = mt.CurrentBytes();
+  mt.ResetPeak();
+  const nvram::CostTotals cost_base = cm.Totals();
+
+  Timer timer;
+  AlgoOutput output = entry->runner(g, *gw, ctx, params);
+
+  RunReport report;
+  report.wall_seconds = timer.Seconds();
+  report.cost = cm.Totals() - cost_base;
+  const uint64_t peak = mt.PeakBytes();
+  report.peak_intermediate_bytes = peak > mem_base ? peak - mem_base : 0;
+  report.algorithm = info.name;
+  report.output = std::move(output);
+  report.threads = num_workers();
+  report.policy = ctx.policy;
+  report.omega = ctx.omega;
+  report.device_seconds =
+      cm.EmulatedNanos(report.cost, report.threads) / 1e9;
+
+  cm.SetConfig(prev_config);
+  cm.SetAllocPolicy(prev_policy);
+  cm.SetGraphLayout(prev_layout);
+  // Summaries run outside the frame: digesting the output (sorting labels,
+  // counting reached vertices) is presentation, not algorithm cost.
+  report.summary = entry->summarize(report.output);
+  return report;
+}
+
+}  // namespace sage

@@ -1,0 +1,123 @@
+// AlgorithmRegistry: the one typed entry point for running Sage's 18
+// semi-asymmetric algorithms (Table 1 of the paper).
+//
+// Each algorithm registers a name, its input requirements (weighted input,
+// source vertex, symmetric graph), and a runner closure. Callers invoke
+// anything by name:
+//
+//   sage::RunContext ctx;                       // Sage-NVRAM defaults
+//   auto run = sage::AlgorithmRegistry::Run("bfs", graph, ctx, params);
+//   if (run.ok()) std::puts(run.ValueOrDie().ToJson().c_str());
+//
+// Run() validates the request against the declared requirements
+// (synthesizing random weights when a weighted algorithm is handed an
+// unweighted graph), applies the context to the CostModel/Scheduler
+// singletons, executes the runner inside a scoped PSAM counter frame, and
+// returns a RunReport carrying the output plus the counter deltas. The
+// previous device configuration is restored before returning, so runs are
+// hermetic with respect to each other.
+//
+// The built-in algorithms self-register in api/builtin_algorithms.cc, in
+// Table 1 row order; Names()/entries() preserve registration order so
+// drivers and benchmarks iterate the paper's ordering.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/run_context.h"
+#include "api/run_report.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sage {
+
+/// Static metadata an algorithm declares when registering.
+struct AlgorithmInfo {
+  /// Registry key; unique, kebab-case (e.g. "bellman-ford").
+  std::string name;
+  /// The paper's Table 1 / Figure 1 row label (e.g. "Bellman-Ford").
+  std::string table1_row;
+  /// Consumes edge weights (runs on the weighted twin of the input).
+  bool needs_weights = false;
+  /// Consumes RunParams::source.
+  bool needs_source = false;
+  /// Requires a symmetric (undirected) input graph.
+  bool requires_symmetric = false;
+  /// One-line description for -list output and docs.
+  std::string description;
+};
+
+class AlgorithmRegistry {
+ public:
+  /// Runner closure: `g` is the input graph; `gw` is the weighted graph to
+  /// use when needs_weights (identical to `g` otherwise). Runs inside the
+  /// PSAM counter frame and timer, so the report measures exactly the
+  /// kernel — nothing else.
+  using Runner = std::function<AlgoOutput(
+      const Graph& g, const Graph& gw, const RunContext& ctx,
+      const RunParams& params)>;
+
+  /// Digests the runner's output into the report's one-line summary. Runs
+  /// after the counter frame closes: presentation cost is never charged to
+  /// the algorithm.
+  using Summarizer = std::function<std::string(const AlgoOutput& output)>;
+
+  struct Entry {
+    AlgorithmInfo info;
+    Runner runner;
+    Summarizer summarize;
+  };
+
+  /// The process-wide registry, with the built-in algorithms registered.
+  static AlgorithmRegistry& Get();
+
+  /// Registers an algorithm. Fails on duplicate or non-kebab-case names.
+  Status Register(AlgorithmInfo info, Runner runner, Summarizer summarize);
+
+  /// Metadata for `name`, or nullptr if unregistered.
+  const AlgorithmInfo* Find(const std::string& name) const;
+
+  /// All registered names, in registration (Table 1) order.
+  std::vector<std::string> Names() const;
+
+  /// All entries, in registration order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Runs `name` on `g` under `ctx`, synthesizing a weighted twin with
+  /// RunParams::weight_seed if the algorithm needs weights and `g` has
+  /// none.
+  static Result<RunReport> Run(const std::string& name, const Graph& g,
+                               const RunContext& ctx,
+                               const RunParams& params = RunParams{});
+
+  /// As above, but uses the caller's `weighted` twin instead of
+  /// synthesizing one (Engine caches it across runs).
+  static Result<RunReport> Run(const std::string& name, const Graph& g,
+                               const Graph& weighted, const RunContext& ctx,
+                               const RunParams& params = RunParams{});
+
+ private:
+  AlgorithmRegistry() = default;
+
+  static Result<RunReport> RunImpl(const std::string& name, const Graph& g,
+                                   const Graph* weighted_twin,
+                                   const RunContext& ctx,
+                                   const RunParams& params);
+
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+namespace internal {
+/// Defined in builtin_algorithms.cc: registers the 18 Table-1 algorithms.
+void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+}  // namespace internal
+
+}  // namespace sage

@@ -1,0 +1,97 @@
+// RunContext and RunParams: the per-run configuration surface of the
+// engine API.
+//
+// A RunContext owns everything that describes *how* an algorithm executes:
+// the emulated device policy (which data lives on NVRAM vs. DRAM), the PSAM
+// write asymmetry omega, the NUMA placement of the graph, the thread
+// budget, and the EdgeMap traversal options. AlgorithmRegistry::Run applies
+// the context to the process-wide CostModel/Scheduler singletons for the
+// duration of one run and restores the previous device configuration
+// afterwards, so callers never poke the singletons directly (the singletons
+// remain the backing store; the context snapshots/diffs them per run).
+//
+// RunParams carries the *algorithm-level* knobs (source vertex, seeds,
+// tolerances). Both structs are plain aggregates with the paper's defaults;
+// a default-constructed {ctx, params} pair reproduces the Sage-NVRAM
+// configuration used throughout the paper.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/edge_map.h"
+#include "graph/types.h"
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+/// Device, thread, and traversal configuration for one engine run.
+struct RunContext {
+  /// How program data maps onto the emulated devices (Figure 7 rows).
+  nvram::AllocPolicy policy = nvram::AllocPolicy::kGraphNvram;
+  /// NUMA placement of the (read-only) graph region (Section 5.2).
+  nvram::GraphLayout graph_layout = nvram::GraphLayout::kReplicated;
+  /// PSAM write asymmetry applied for the run (EmulationConfig::omega).
+  double omega = nvram::EmulationConfig{}.omega;
+  /// Worker threads for the run; 0 keeps the current scheduler. The
+  /// scheduler is NOT restored after the run (rebuilding thread pools per
+  /// run would dominate small runs); set it once per context change.
+  int num_threads = 0;
+  /// EdgeMap traversal options threaded into every frontier-based kernel.
+  EdgeMapOptions edge_map;
+
+  /// Snapshots the current singleton state into a context, for callers
+  /// that want "whatever is configured right now" semantics.
+  static RunContext Current() {
+    auto& cm = nvram::CostModel::Get();
+    RunContext ctx;
+    ctx.policy = cm.alloc_policy();
+    ctx.graph_layout = cm.graph_layout();
+    ctx.omega = cm.config().omega;
+    return ctx;
+  }
+};
+
+/// Algorithm-level parameters. Fields are ignored by algorithms that do
+/// not consume them (see AlgorithmInfo::needs_source / needs_weights).
+struct RunParams {
+  /// Source vertex for the five source-rooted problems.
+  vertex_id source = 0;
+  /// Seed for the randomized algorithms (LDD, MIS, matching, spanner, ...).
+  uint64_t seed = 1;
+  /// LDD/connectivity cluster growth parameter (0.2 per Section 5.3).
+  double ldd_beta = 0.2;
+  /// PageRank L1 convergence tolerance.
+  double pagerank_epsilon = 1e-6;
+  /// PageRank iteration cap.
+  uint64_t pagerank_max_iters = 100;
+  /// Set-cover bucket granularity (1 + eps).
+  double set_cover_eps = 0.5;
+  /// Spanner stretch parameter; 0 = ceil(log2 n) as in the paper.
+  uint32_t spanner_k = 0;
+  /// GraphFilter block size F_B for triangle counting / matching /
+  /// set cover; 0 = default.
+  uint32_t filter_block_size = 0;
+  /// Seed for weights synthesized when a weighted algorithm runs on an
+  /// unweighted graph (uniform in [1, 99], matching the CLI's behavior).
+  uint64_t weight_seed = 99;
+};
+
+/// The valid `-policy` spellings, pipe-separated (for usage strings).
+inline const char* AllocPolicyChoices() {
+  return "graph-nvram|all-dram|all-nvram|memory-mode";
+}
+
+/// Parses an AllocPolicy name as printed by nvram::AllocPolicyName.
+/// Unknown names are an InvalidArgument listing the valid policies.
+inline Result<nvram::AllocPolicy> ParseAllocPolicy(const std::string& name) {
+  if (name == "graph-nvram") return nvram::AllocPolicy::kGraphNvram;
+  if (name == "all-dram") return nvram::AllocPolicy::kAllDram;
+  if (name == "all-nvram") return nvram::AllocPolicy::kAllNvram;
+  if (name == "memory-mode") return nvram::AllocPolicy::kMemoryMode;
+  return Status::InvalidArgument("unknown allocation policy '" + name +
+                                 "' (valid: " +
+                                 std::string(AllocPolicyChoices()) + ")");
+}
+
+}  // namespace sage

@@ -1,0 +1,96 @@
+#include "api/run_report.h"
+
+#include <cstdio>
+
+namespace sage {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonU64(uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  std::string j = "{\n";
+  j += "  \"algorithm\": \"" + JsonEscape(algorithm) + "\",\n";
+  j += "  \"summary\": \"" + JsonEscape(summary) + "\",\n";
+  j += "  \"wall_seconds\": " + JsonDouble(wall_seconds) + ",\n";
+  j += "  \"device_seconds\": " + JsonDouble(device_seconds) + ",\n";
+  j += "  \"threads\": " + std::to_string(threads) + ",\n";
+  j += "  \"policy\": \"" + std::string(nvram::AllocPolicyName(policy)) +
+       "\",\n";
+  j += "  \"omega\": " + JsonDouble(omega) + ",\n";
+  j += "  \"psam_cost\": " + JsonDouble(PsamCost()) + ",\n";
+  j += "  \"peak_intermediate_bytes\": " + JsonU64(peak_intermediate_bytes) +
+       ",\n";
+  j += "  \"counters\": {\n";
+  j += "    \"dram_reads\": " + JsonU64(cost.dram_reads) + ",\n";
+  j += "    \"dram_writes\": " + JsonU64(cost.dram_writes) + ",\n";
+  j += "    \"nvram_reads\": " + JsonU64(cost.nvram_reads) + ",\n";
+  j += "    \"nvram_writes\": " + JsonU64(cost.nvram_writes) + ",\n";
+  j += "    \"remote_nvram_accesses\": " + JsonU64(cost.remote_nvram_accesses) +
+       ",\n";
+  j += "    \"memory_mode_hits\": " + JsonU64(cost.memory_mode_hits) + ",\n";
+  j += "    \"memory_mode_misses\": " + JsonU64(cost.memory_mode_misses) +
+       "\n";
+  j += "  }\n";
+  j += "}";
+  return j;
+}
+
+std::string RunReport::ToString() const {
+  char buf[256];
+  std::string s = algorithm + ": " + summary + "\n";
+  std::snprintf(buf, sizeof(buf),
+                "time: %.4fs on %d threads | policy=%s omega=%.1f\n",
+                wall_seconds, threads, nvram::AllocPolicyName(policy), omega);
+  s += buf;
+  s += "psam: " + cost.ToString();
+  std::snprintf(buf, sizeof(buf), " | device-time=%.1fms\n",
+                device_seconds * 1e3);
+  s += buf;
+  std::snprintf(buf, sizeof(buf), "dram-peak: %llu intermediate bytes\n",
+                static_cast<unsigned long long>(peak_intermediate_bytes));
+  s += buf;
+  return s;
+}
+
+}  // namespace sage

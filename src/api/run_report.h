@@ -1,0 +1,78 @@
+// RunReport: the structured result of one engine run.
+//
+// Every AlgorithmRegistry::Run returns a RunReport bundling the algorithm's
+// output (a variant over the toolkit's result types), a one-line summary,
+// wall/device time, and the full PSAM accounting for the run: the
+// DRAM/NVRAM read/write counter deltas (Section 3) and the peak
+// intermediate DRAM allocation (the Table 5 metric). ToJson() renders the
+// measurement portion machine-readably for drivers and CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "algorithms/biconnectivity.h"
+#include "algorithms/densest_subgraph.h"
+#include "algorithms/kcore.h"
+#include "algorithms/ldd.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/triangle_count.h"
+#include "graph/types.h"
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+/// Union of the 18 algorithms' native result types. vertex_id and uint32_t
+/// are the same type, so one vector<vertex_id> alternative covers BFS
+/// parents, component labels, set-cover ids, and colorings.
+using AlgoOutput = std::variant<
+    std::monostate,                                // empty (default report)
+    std::vector<vertex_id>,                        // parents/labels/ids/colors
+    std::vector<uint64_t>,                         // distances, capacities
+    std::vector<double>,                           // betweenness scores
+    std::vector<uint8_t>,                          // MIS membership flags
+    std::vector<std::pair<vertex_id, vertex_id>>,  // edge sets
+    LddResult, BiconnectivityResult, KCoreResult, DensestSubgraphResult,
+    TriangleCountResult, PageRankResult>;
+
+/// Structured result of one AlgorithmRegistry::Run.
+struct RunReport {
+  /// Registry name of the algorithm that ran (e.g. "bfs").
+  std::string algorithm;
+  /// One-line human-readable digest of the output (e.g. "reached=972").
+  std::string summary;
+  /// The algorithm's native output.
+  AlgoOutput output;
+
+  /// Host wall-clock seconds of the run.
+  double wall_seconds = 0.0;
+  /// Projected seconds of the run's memory traffic under the emulated
+  /// device latencies (CostModel::EmulatedNanos over `threads` workers).
+  double device_seconds = 0.0;
+  /// Worker threads the run executed on.
+  int threads = 1;
+  /// Device policy the run executed under.
+  nvram::AllocPolicy policy = nvram::AllocPolicy::kGraphNvram;
+  /// PSAM write asymmetry the run executed under.
+  double omega = 4.0;
+  /// PSAM counter deltas charged by the run (word granularity).
+  nvram::CostTotals cost;
+  /// Peak DRAM allocated by the run's intermediate structures, in bytes,
+  /// above what was live when the run started (Table 5's metric).
+  uint64_t peak_intermediate_bytes = 0;
+
+  /// PSAM work of the run: dram + nvram_reads + omega * nvram_writes.
+  double PsamCost() const { return cost.PsamCost(omega); }
+
+  /// Machine-readable rendering of the measurement fields (not the raw
+  /// output vectors, which can be gigabytes).
+  std::string ToJson() const;
+
+  /// Human-readable multi-line rendering, as printed by sage_cli.
+  std::string ToString() const;
+};
+
+}  // namespace sage

@@ -142,7 +142,188 @@ Status WriteAdjacencyGraph(const Graph& g, const std::string& path) {
   return Status::OK();
 }
 
-Result<Graph> ReadEdgeList(const std::string& path, bool weighted) {
+const char* GraphFileFormatName(GraphFileFormat format) {
+  switch (format) {
+    case GraphFileFormat::kUnknown:
+      return "unknown";
+    case GraphFileFormat::kAdjacencyGraph:
+      return "AdjacencyGraph";
+    case GraphFileFormat::kWeightedAdjacencyGraph:
+      return "WeightedAdjacencyGraph";
+    case GraphFileFormat::kEdgeList:
+      return "edge-list";
+    case GraphFileFormat::kWeightedEdgeList:
+      return "weighted-edge-list";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Extension-based fallback, used only when content sniffing is
+/// inconclusive.
+GraphFileFormat FormatFromExtension(const std::string& path) {
+  if (path.ends_with(".adj")) return GraphFileFormat::kAdjacencyGraph;
+  if (path.ends_with(".wadj")) {
+    return GraphFileFormat::kWeightedAdjacencyGraph;
+  }
+  if (path.ends_with(".el") || path.ends_with(".txt") ||
+      path.ends_with(".edges")) {
+    return GraphFileFormat::kEdgeList;
+  }
+  return GraphFileFormat::kUnknown;
+}
+
+/// DetectGraphFormat plus the raw sniffing evidence, for callers that need
+/// to second-guess the heuristic (ReadGraphAuto's force_weighted).
+struct SniffResult {
+  GraphFileFormat format = GraphFileFormat::kUnknown;
+  /// Integer columns counted on the first data line (0 if none).
+  int first_line_columns = 0;
+  /// The first data line extended past the sniff window, so
+  /// first_line_columns is a lower bound, not a trustworthy count.
+  bool line_truncated = false;
+};
+
+Result<SniffResult> SniffGraphFormat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char buf[4096];
+  size_t got = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::string head(buf, got);
+  SniffResult result;
+
+  // Skip leading whitespace and '#'/'%' comment lines.
+  size_t pos = 0;
+  while (pos < head.size()) {
+    char c = head[pos];
+    if (c == '#' || c == '%') {
+      while (pos < head.size() && head[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+
+  if (pos < head.size() &&
+      std::isalpha(static_cast<unsigned char>(head[pos]))) {
+    size_t start = pos;
+    while (pos < head.size() &&
+           std::isalpha(static_cast<unsigned char>(head[pos]))) {
+      ++pos;
+    }
+    std::string word = head.substr(start, pos - start);
+    if (word == "AdjacencyGraph") {
+      result.format = GraphFileFormat::kAdjacencyGraph;
+    } else if (word == "WeightedAdjacencyGraph") {
+      result.format = GraphFileFormat::kWeightedAdjacencyGraph;
+    }
+    // Textual content that is not a known header: the content contradicts
+    // any extension hint, so report unknown rather than guessing.
+    return result;
+  }
+
+  if (pos < head.size() &&
+      std::isdigit(static_cast<unsigned char>(head[pos]))) {
+    // Numeric first data line: count its integer columns. Two columns is
+    // an edge list, three a weighted edge list; an even count tolerates
+    // several "u v" pairs on one line (the readers are line-agnostic).
+    size_t line_end = head.find('\n', pos);
+    if (line_end == std::string::npos) {
+      line_end = head.size();
+      result.line_truncated = got == sizeof(buf);
+    }
+    int columns = 0;
+    bool numeric = true;
+    while (pos < line_end) {
+      char c = head[pos];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++columns;
+        while (pos < line_end &&
+               std::isdigit(static_cast<unsigned char>(head[pos]))) {
+          ++pos;
+        }
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos;
+      } else {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric && columns > 0) {
+      result.first_line_columns = columns;
+      // A first line longer than the sniff window yields a partial column
+      // count; classify it as a plain edge list (the common layout for
+      // many-tokens-per-line files) rather than trusting the count.
+      if (result.line_truncated) {
+        result.format = GraphFileFormat::kEdgeList;
+      } else if (columns == 3 ||
+                 (columns % 3 == 0 && columns % 2 != 0)) {
+        result.format = GraphFileFormat::kWeightedEdgeList;
+      } else if (columns % 2 == 0) {
+        result.format = GraphFileFormat::kEdgeList;
+      }
+    }
+    // Numeric content the column rules can't classify (e.g. a lone count
+    // header or five columns) is inconclusive: let the extension break
+    // the tie, per the DetectGraphFormat contract.
+    if (result.format == GraphFileFormat::kUnknown) {
+      result.format = FormatFromExtension(path);
+    }
+    return result;
+  }
+
+  // Inconclusive content (empty or comment-only file): fall back to the
+  // extension.
+  result.format = FormatFromExtension(path);
+  return result;
+}
+
+}  // namespace
+
+Result<GraphFileFormat> DetectGraphFormat(const std::string& path) {
+  auto sniff = SniffGraphFormat(path);
+  if (!sniff.ok()) return sniff.status();
+  return sniff.ValueOrDie().format;
+}
+
+Result<Graph> ReadGraphAuto(const std::string& path, bool symmetric,
+                            bool force_weighted) {
+  auto sniffed = SniffGraphFormat(path);
+  if (!sniffed.ok()) return sniffed.status();
+  const SniffResult& sniff = sniffed.ValueOrDie();
+  switch (sniff.format) {
+    case GraphFileFormat::kAdjacencyGraph:
+    case GraphFileFormat::kWeightedAdjacencyGraph:
+      // Adjacency headers declare weightedness themselves.
+      return ReadAdjacencyGraph(path, symmetric);
+    case GraphFileFormat::kEdgeList:
+      if (force_weighted) {
+        // Honor the caller's assertion unless the first data line is a
+        // complete, genuinely two-column record — triples can't hide in
+        // that, so it is a contradiction rather than an override.
+        if (!sniff.line_truncated && sniff.first_line_columns == 2) {
+          return Status::InvalidArgument(
+              path + ": weighted load requested but the first data line "
+                     "has only two columns");
+        }
+        return ReadEdgeList(path, /*weighted=*/true, symmetric);
+      }
+      return ReadEdgeList(path, /*weighted=*/false, symmetric);
+    case GraphFileFormat::kWeightedEdgeList:
+      return ReadEdgeList(path, /*weighted=*/true, symmetric);
+    case GraphFileFormat::kUnknown:
+      break;
+  }
+  return Status::InvalidArgument(
+      path + ": cannot determine graph format (expected an AdjacencyGraph/"
+             "WeightedAdjacencyGraph header or a numeric edge list)");
+}
+
+Result<Graph> ReadEdgeList(const std::string& path, bool weighted,
+                           bool symmetrize) {
   auto data = Slurp(path);
   if (!data.ok()) return data.status();
   Tokens toks(data.ValueOrDie());
@@ -164,6 +345,7 @@ Result<Graph> ReadEdgeList(const std::string& path, bool weighted) {
   if (edges.empty()) return Status::Corruption(path + ": no edges");
   BuildOptions opts;
   opts.keep_weights = weighted;
+  opts.symmetrize = symmetrize;
   return GraphBuilder::Build(static_cast<vertex_id>(max_id + 1),
                              std::move(edges), opts);
 }

@@ -22,8 +22,44 @@ Result<Graph> ReadAdjacencyGraph(const std::string& path, bool symmetric);
 Status WriteAdjacencyGraph(const Graph& g, const std::string& path);
 
 /// Reads a whitespace/newline separated edge list "u v [w]" and builds a
-/// symmetric graph on max-id+1 vertices. Lines starting with '#' or '%' are
-/// comments.
-Result<Graph> ReadEdgeList(const std::string& path, bool weighted);
+/// graph on max-id+1 vertices, adding reverse edges when `symmetrize` (the
+/// default). Lines starting with '#' or '%' are comments.
+Result<Graph> ReadEdgeList(const std::string& path, bool weighted,
+                           bool symmetrize = true);
+
+/// On-disk graph formats the readers understand.
+enum class GraphFileFormat : uint8_t {
+  kUnknown = 0,
+  kAdjacencyGraph,          // Ligra "AdjacencyGraph" header
+  kWeightedAdjacencyGraph,  // Ligra "WeightedAdjacencyGraph" header
+  kEdgeList,                // "u v" per line
+  kWeightedEdgeList,        // "u v w" per line
+};
+
+/// Returns a short printable name for a GraphFileFormat.
+const char* GraphFileFormatName(GraphFileFormat format);
+
+/// Determines the format of the graph file at `path`. Content decides:
+/// a leading (Weighted)AdjacencyGraph header word wins; otherwise a leading
+/// numeric first data line is sniffed as an edge list (2 columns, or 3 for
+/// weighted), skipping '#'/'%' comment lines. Only when the content is
+/// inconclusive (e.g. an empty file) does the extension break the tie
+/// (".adj" -> AdjacencyGraph; ".el"/".txt"/".edges" -> edge list).
+/// IOError if the file cannot be read; kUnknown when neither content nor
+/// extension identifies a format.
+Result<GraphFileFormat> DetectGraphFormat(const std::string& path);
+
+/// Loads a graph from `path` in whatever format DetectGraphFormat reports,
+/// dispatching to ReadAdjacencyGraph or ReadEdgeList (weighted iff the
+/// file carries a weight column). `symmetric` flags adjacency files as
+/// already-symmetric and controls edge-list symmetrization. With
+/// `force_weighted`, the caller asserts the file carries weights: edge
+/// lists are read with a weight column even when the sniffer would
+/// classify them as unweighted (e.g. several "u v w" triples packed on
+/// one line), and only a first data line that is confidently two-column
+/// is rejected as a contradiction. InvalidArgument when the format cannot
+/// be determined.
+Result<Graph> ReadGraphAuto(const std::string& path, bool symmetric = true,
+                            bool force_weighted = false);
 
 }  // namespace sage

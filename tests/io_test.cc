@@ -124,5 +124,179 @@ TEST(EdgeListIO, RejectsEmptyFile) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(EdgeListIO, HonorsSymmetrizeFlag) {
+  std::string path = TempPath("directed.txt");
+  WriteFile(path, "0 1\n1 2\n");
+  auto directed = ReadEdgeList(path, /*weighted=*/false,
+                               /*symmetrize=*/false);
+  ASSERT_TRUE(directed.ok());
+  EXPECT_FALSE(directed.ValueOrDie().symmetric());
+  EXPECT_EQ(directed.ValueOrDie().num_edges(), 2u);
+
+  auto via_auto = ReadGraphAuto(path, /*symmetric=*/false);
+  ASSERT_TRUE(via_auto.ok());
+  EXPECT_FALSE(via_auto.ValueOrDie().symmetric());
+  EXPECT_EQ(via_auto.ValueOrDie().num_edges(), 2u);
+}
+
+TEST(FormatDetection, SniffsAdjacencyHeaderRegardlessOfExtension) {
+  std::string path = TempPath("headerful.weird");
+  WriteFile(path, "AdjacencyGraph\n3\n4\n0\n1\n3\n1\n0\n2\n1\n");
+  auto fmt = DetectGraphFormat(path);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kAdjacencyGraph);
+}
+
+TEST(FormatDetection, SniffsWeightedAdjacencyHeader) {
+  std::string path = TempPath("wheader.bin");
+  WriteFile(path, "WeightedAdjacencyGraph\n2\n2\n0\n1\n1\n0\n5\n5\n");
+  auto fmt = DetectGraphFormat(path);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kWeightedAdjacencyGraph);
+}
+
+TEST(FormatDetection, SniffsEdgeListColumns) {
+  std::string two = TempPath("pairs.dat");
+  WriteFile(two, "# comment\n% more\n0 1\n1 2\n");
+  auto fmt2 = DetectGraphFormat(two);
+  ASSERT_TRUE(fmt2.ok());
+  EXPECT_EQ(fmt2.ValueOrDie(), GraphFileFormat::kEdgeList);
+
+  std::string three = TempPath("triples.dat");
+  WriteFile(three, "0 1 5\n1 2 7\n");
+  auto fmt3 = DetectGraphFormat(three);
+  ASSERT_TRUE(fmt3.ok());
+  EXPECT_EQ(fmt3.ValueOrDie(), GraphFileFormat::kWeightedEdgeList);
+}
+
+TEST(FormatDetection, TruncatedLongFirstLineFallsBackToEdgeList) {
+  // Many "u v" pairs on one line, longer than the 4 KB sniff window: the
+  // partial column count must not be trusted (it could look weighted).
+  std::string line;
+  for (int i = 0; i < 1500; ++i) {
+    line += std::to_string(i) + " " + std::to_string(i + 1) + " ";
+  }
+  line += "\n";
+  ASSERT_GT(line.size(), 4096u);
+  std::string path = TempPath("longline.dat");
+  WriteFile(path, line);
+  auto fmt = DetectGraphFormat(path);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kEdgeList);
+  auto graph = ReadGraphAuto(path);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.ValueOrDie().num_vertices(), 1501u);
+}
+
+TEST(FormatDetection, InconclusiveColumnCountFallsBackToExtension) {
+  // A lone count header defeats the column rules; the extension decides.
+  std::string el = TempPath("counted.el");
+  WriteFile(el, "5\n0 1\n1 2\n");
+  auto fmt = DetectGraphFormat(el);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kEdgeList);
+
+  std::string bare = TempPath("counted.xyz");
+  WriteFile(bare, "5\n0 1\n1 2\n");
+  auto fmt_bare = DetectGraphFormat(bare);
+  ASSERT_TRUE(fmt_bare.ok());
+  EXPECT_EQ(fmt_bare.ValueOrDie(), GraphFileFormat::kUnknown);
+}
+
+TEST(FormatDetection, UnknownContentIsUnknownEvenWithAdjExtension) {
+  std::string path = TempPath("garbage.adj");
+  WriteFile(path, "ThisIsNotAGraph\nhello\n");
+  auto fmt = DetectGraphFormat(path);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kUnknown);
+}
+
+TEST(FormatDetection, ExtensionBreaksTieForEmptyFiles) {
+  std::string adj = TempPath("commentonly.adj");
+  WriteFile(adj, "# just a comment\n");
+  auto fmt = DetectGraphFormat(adj);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kAdjacencyGraph);
+
+  std::string txt = TempPath("commentonly.txt");
+  WriteFile(txt, "% nothing yet\n");
+  auto fmt_txt = DetectGraphFormat(txt);
+  ASSERT_TRUE(fmt_txt.ok());
+  EXPECT_EQ(fmt_txt.ValueOrDie(), GraphFileFormat::kEdgeList);
+
+  std::string none = TempPath("commentonly.xyz");
+  WriteFile(none, "# ???\n");
+  auto fmt_none = DetectGraphFormat(none);
+  ASSERT_TRUE(fmt_none.ok());
+  EXPECT_EQ(fmt_none.ValueOrDie(), GraphFileFormat::kUnknown);
+}
+
+TEST(FormatDetection, MissingFileIsIOError) {
+  auto fmt = DetectGraphFormat(TempPath("does-not-exist.adj"));
+  EXPECT_FALSE(fmt.ok());
+  EXPECT_EQ(fmt.status().code(), StatusCode::kIOError);
+}
+
+TEST(ReadGraphAuto, LoadsEveryDetectableFormat) {
+  // Adjacency file written by the library itself.
+  Graph g = RmatGraph(8, 2000, 11);
+  std::string adj = TempPath("auto.adj");
+  ASSERT_TRUE(WriteAdjacencyGraph(g, adj).ok());
+  auto from_adj = ReadGraphAuto(adj);
+  ASSERT_TRUE(from_adj.ok()) << from_adj.status().ToString();
+  EXPECT_EQ(from_adj.ValueOrDie().num_edges(), g.num_edges());
+
+  // Unweighted edge list: weights absent after auto-detection.
+  std::string el = TempPath("auto_edges.txt");
+  WriteFile(el, "0 1\n1 2\n2 0\n");
+  auto from_el = ReadGraphAuto(el);
+  ASSERT_TRUE(from_el.ok()) << from_el.status().ToString();
+  EXPECT_FALSE(from_el.ValueOrDie().weighted());
+  EXPECT_EQ(from_el.ValueOrDie().num_vertices(), 3u);
+
+  // Weighted edge list: the third column becomes weights.
+  std::string wel = TempPath("auto_wedges.txt");
+  WriteFile(wel, "0 1 5\n1 2 7\n");
+  auto from_wel = ReadGraphAuto(wel);
+  ASSERT_TRUE(from_wel.ok()) << from_wel.status().ToString();
+  EXPECT_TRUE(from_wel.ValueOrDie().weighted());
+
+  // Undetectable content is an InvalidArgument, not a crash.
+  std::string bad = TempPath("auto_bad.xyz");
+  WriteFile(bad, "?!\n");
+  auto from_bad = ReadGraphAuto(bad);
+  ASSERT_FALSE(from_bad.ok());
+  EXPECT_EQ(from_bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReadGraphAuto, ForceWeightedOverridesColumnSniffing) {
+  // Two "u v w" triples on one line: 6 columns sniff as an unweighted
+  // edge list, but the caller knows better.
+  std::string packed = TempPath("packed_triples.txt");
+  WriteFile(packed, "0 1 5 1 2 7\n");
+  auto forced = ReadGraphAuto(packed, /*symmetric=*/true,
+                              /*force_weighted=*/true);
+  ASSERT_TRUE(forced.ok()) << forced.status().ToString();
+  EXPECT_TRUE(forced.ValueOrDie().weighted());
+  EXPECT_EQ(forced.ValueOrDie().num_vertices(), 3u);
+
+  // A complete, genuinely two-column first line cannot hide triples: the
+  // override is a contradiction and must not corrupt the graph.
+  std::string pairs = TempPath("plain_pairs.txt");
+  WriteFile(pairs, "0 1\n1 2\n");
+  auto contradiction = ReadGraphAuto(pairs, /*symmetric=*/true,
+                                     /*force_weighted=*/true);
+  ASSERT_FALSE(contradiction.ok());
+  EXPECT_EQ(contradiction.status().code(), StatusCode::kInvalidArgument);
+
+  // Forcing on an already-weighted-looking file is a no-op.
+  std::string triples = TempPath("plain_triples.txt");
+  WriteFile(triples, "0 1 5\n1 2 7\n");
+  auto weighted = ReadGraphAuto(triples, /*symmetric=*/true,
+                                /*force_weighted=*/true);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_TRUE(weighted.ValueOrDie().weighted());
+}
+
 }  // namespace
 }  // namespace sage
