@@ -18,7 +18,7 @@ struct Run {
 
 Run BfsWithVariant(const Graph& g, SparseVariant variant,
                    TraversalMode mode) {
-  ChunkPool::Get(0).Drain();
+  ChunkPool::DrainAll();
   auto& mt = nvram::MemoryTracker::Get();
   mt.ResetPeak();
   uint64_t before = mt.CurrentBytes();

@@ -8,6 +8,10 @@
 #   cli_smoke.sh <sage_cli> <algo>            run one algorithm, validate JSON
 #   cli_smoke.sh <sage_cli> --all             enumerate -list-names, run each
 #   cli_smoke.sh <sage_cli> --expect "a b c"  fail unless -list-names == list
+#   cli_smoke.sh <sage_cli> --binary-all      text -> .bsadj conversion leg:
+#                                             every algorithm runs from the
+#                                             mapped binary and must match
+#                                             its text-run summary+counters
 set -u
 
 CLI=$1
@@ -41,7 +45,52 @@ run_one() {
   echo "ok $name"
 }
 
+# Extracts the comparable portion of a -json RunReport: the summary line
+# and the counters block (wall/device times legitimately differ run to run).
+extract_comparable() {
+  printf '%s\n' "$1" | sed -n -e '/"summary"/p' -e '/"counters"/,/}/p'
+}
+
 case $MODE in
+  --binary-all)
+    tmp=$(mktemp -d) || { echo "FAIL: mktemp"; exit 1; }
+    trap 'rm -rf "$tmp"' EXIT
+    # One generated graph, serialized to text, then converted text->binary
+    # through the CLI itself (the user-facing conversion workflow).
+    "$CLI" -gen rmat -logn 10 -edges 8000 -convert "$tmp/g.adj" >/dev/null || {
+      echo "FAIL: -convert to text exited nonzero"; exit 1;
+    }
+    "$CLI" -graph "$tmp/g.adj" -convert "$tmp/g.bsadj" >/dev/null || {
+      echo "FAIL: -convert text->binary exited nonzero"; exit 1;
+    }
+    names=$("$CLI" -list-names) || { echo "FAIL: -list-names"; exit 1; }
+    fail=0
+    for name in $names; do
+      # -threads 1 pins scheduling so racy-but-correct kernels (min-CAS
+      # style) charge identical counters on identical inputs.
+      text_out=$("$CLI" -algo "$name" -graph "$tmp/g.adj" -src 1 \
+                        -threads 1 -json) || {
+        echo "FAIL $name: text run exited nonzero"; fail=1; continue;
+      }
+      bin_out=$("$CLI" -algo "$name" -graph "$tmp/g.bsadj" -src 1 \
+                       -threads 1 -json) || {
+        echo "FAIL $name: binary run exited nonzero"; fail=1; continue;
+      }
+      printf '%s' "$bin_out" | grep -q '"graph_source": "mapped-nvram"' || {
+        echo "FAIL $name: binary run not marked mapped-nvram"; fail=1;
+      }
+      if [ "$(extract_comparable "$text_out")" != \
+           "$(extract_comparable "$bin_out")" ]; then
+        echo "FAIL $name: text and mapped-binary runs diverge"
+        echo "--- text ---";   extract_comparable "$text_out"
+        echo "--- binary ---"; extract_comparable "$bin_out"
+        fail=1
+      else
+        echo "ok $name (text == mapped binary)"
+      fi
+    done
+    exit $fail
+    ;;
   --all)
     names=$("$CLI" -list-names) || { echo "FAIL: -list-names exited nonzero"; exit 1; }
     [ -n "$names" ] || { echo "FAIL: -list-names printed nothing"; exit 1; }

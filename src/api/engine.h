@@ -20,6 +20,7 @@
 #include "api/registry.h"
 #include "graph/builder.h"
 #include "graph/graph.h"
+#include "graph/io.h"
 
 namespace sage {
 
@@ -27,6 +28,19 @@ class Engine {
  public:
   explicit Engine(Graph graph, RunContext ctx = RunContext{})
       : graph_(std::move(graph)), ctx_(ctx) {}
+
+  /// Loads the graph at `path` in any format ReadGraphAuto understands and
+  /// wraps it in an engine. Binary .bsadj images open zero-copy as
+  /// NVRAM-resident mappings (Graph::nvram_resident()), so the engine's
+  /// runs charge graph reads as NVRAM under every policy - the
+  /// semi-external setup with no parse-and-rebuild step.
+  static Result<Engine> FromFile(const std::string& path,
+                                 RunContext ctx = RunContext{},
+                                 bool symmetric = true) {
+    auto graph = ReadGraphAuto(path, symmetric);
+    if (!graph.ok()) return graph.status();
+    return Engine(graph.TakeValue(), ctx);
+  }
 
   /// Runs a registered algorithm on the engine's graph under its context.
   Result<RunReport> Run(const std::string& algorithm,

@@ -142,11 +142,19 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
   const nvram::EmulationConfig prev_config = cm.config();
   const nvram::AllocPolicy prev_policy = cm.alloc_policy();
   const nvram::GraphLayout prev_layout = cm.graph_layout();
+  const nvram::GraphResidence prev_residence = cm.graph_residence();
   nvram::EmulationConfig config = prev_config;
   config.omega = ctx.omega;
   cm.SetConfig(config);
   cm.SetAllocPolicy(ctx.policy);
   cm.SetGraphLayout(ctx.graph_layout);
+  // The input graph, not the context, knows where it physically lives: an
+  // mmap-ed .bsadj image is NVRAM-resident under every policy. (A weighted
+  // twin synthesized for the run is in-memory, but the graph region charge
+  // follows the input it mirrors.)
+  cm.SetGraphResidence(g.nvram_resident()
+                           ? nvram::GraphResidence::kMappedNvram
+                           : nvram::GraphResidence::kPolicy);
 
   auto& mt = nvram::MemoryTracker::Get();
   const uint64_t mem_base = mt.CurrentBytes();
@@ -166,12 +174,14 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
   report.threads = num_workers();
   report.policy = ctx.policy;
   report.omega = ctx.omega;
+  report.graph_mapped = g.nvram_resident();
   report.device_seconds =
       cm.EmulatedNanos(report.cost, report.threads) / 1e9;
 
   cm.SetConfig(prev_config);
   cm.SetAllocPolicy(prev_policy);
   cm.SetGraphLayout(prev_layout);
+  cm.SetGraphResidence(prev_residence);
   // Summaries run outside the frame: digesting the output (sorting labels,
   // counting reached vertices) is presentation, not algorithm cost.
   report.summary = entry->summarize(report.output);

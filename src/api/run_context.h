@@ -10,6 +10,12 @@
 // afterwards, so callers never poke the singletons directly (the singletons
 // remain the backing store; the context snapshots/diffs them per run).
 //
+// One device property is deliberately *not* in the context: where the graph
+// physically lives. An mmap-ed .bsadj graph (binary_format.h) is
+// NVRAM-resident no matter what the policy says, so the registry derives
+// nvram::GraphResidence from Graph::nvram_resident() per run and the report
+// records it as RunReport::graph_mapped.
+//
 // RunParams carries the *algorithm-level* knobs (source vertex, seeds,
 // tolerances). Both structs are plain aggregates with the paper's defaults;
 // a default-constructed {ctx, params} pair reproduces the Sage-NVRAM

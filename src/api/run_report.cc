@@ -57,6 +57,8 @@ std::string RunReport::ToJson() const {
   j += "  \"threads\": " + std::to_string(threads) + ",\n";
   j += "  \"policy\": \"" + std::string(nvram::AllocPolicyName(policy)) +
        "\",\n";
+  j += "  \"graph_source\": \"" +
+       std::string(graph_mapped ? "mapped-nvram" : "memory") + "\",\n";
   j += "  \"omega\": " + JsonDouble(omega) + ",\n";
   j += "  \"psam_cost\": " + JsonDouble(PsamCost()) + ",\n";
   j += "  \"peak_intermediate_bytes\": " + JsonU64(peak_intermediate_bytes) +
@@ -80,8 +82,9 @@ std::string RunReport::ToString() const {
   char buf[256];
   std::string s = algorithm + ": " + summary + "\n";
   std::snprintf(buf, sizeof(buf),
-                "time: %.4fs on %d threads | policy=%s omega=%.1f\n",
-                wall_seconds, threads, nvram::AllocPolicyName(policy), omega);
+                "time: %.4fs on %d threads | policy=%s omega=%.1f%s\n",
+                wall_seconds, threads, nvram::AllocPolicyName(policy), omega,
+                graph_mapped ? " graph=mapped-nvram" : "");
   s += buf;
   s += "psam: " + cost.ToString();
   std::snprintf(buf, sizeof(buf), " | device-time=%.1fms\n",

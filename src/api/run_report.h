@@ -56,6 +56,9 @@ struct RunReport {
   int threads = 1;
   /// Device policy the run executed under.
   nvram::AllocPolicy policy = nvram::AllocPolicy::kGraphNvram;
+  /// True when the input graph was an mmap-ed NVRAM-resident .bsadj image
+  /// (graph reads then charge as NVRAM under every policy).
+  bool graph_mapped = false;
   /// PSAM write asymmetry the run executed under.
   double omega = 4.0;
   /// PSAM counter deltas charged by the run (word granularity).

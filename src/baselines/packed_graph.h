@@ -22,8 +22,8 @@ class PackedGraph {
   /// Copies g's adjacency structure. The copy itself charges graph writes
   /// (GBBS must materialize its mutable graph in the big memory).
   explicit PackedGraph(const Graph& g)
-      : offsets_(g.raw_offsets()),
-        neighbors_(g.raw_neighbors()),
+      : offsets_(g.raw_offsets().begin(), g.raw_offsets().end()),
+        neighbors_(g.raw_neighbors().begin(), g.raw_neighbors().end()),
         degree_(g.num_vertices()) {
     parallel_for(0, degree_.size(), [&](size_t v) {
       degree_[v] = static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);

@@ -7,9 +7,23 @@
 // the chunk to the *releasing* worker's list, so steady-state traversals
 // allocate nothing. Total live chunks are bounded by the number of groups
 // (O(P)) plus pool residue, keeping edgeMapChunked within O(n) words.
+//
+// Pools are keyed by chunk capacity (a per-traversal constant derived from
+// the graph's average degree). Earlier revisions kept a single pool and
+// reconfigured it in place on a capacity change, which raced when two
+// concurrent traversals over graphs with different average degrees hit
+// Get() at once - one traversal's free lists were drained and resized under
+// the other's feet. Keyed pools make Get() safe under concurrency, and the
+// per-worker free lists carry a lock for the residual case of two foreign
+// driver threads sharing worker id 0 (uncontended in steady state, so the
+// cost is one cache-hot CAS per chunk, amortized over thousands of pushes).
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
@@ -36,23 +50,32 @@ struct Chunk {
 /// Per-worker pools of chunks of one capacity.
 class ChunkPool {
  public:
-  /// Returns the process-wide pool, resizing chunks to `capacity` (pools are
-  /// dropped if the requested capacity changes; capacity is a per-traversal
-  /// constant derived from the graph's average degree).
+  /// Returns the process-wide pool for chunks of at least `capacity` ids,
+  /// creating it on first use. Capacities are quantized up to a power of
+  /// two, so graphs with nearby degree profiles share one pool and the
+  /// registry holds at most ~64 pools over the process lifetime (pools are
+  /// never destroyed: the reference stays valid forever, and concurrent
+  /// traversals with different capacities operate on disjoint pools).
   static ChunkPool& Get(size_t capacity) {
-    static ChunkPool pool;
-    if (pool.capacity_ != capacity) pool.Reconfigure(capacity);
-    return pool;
+    capacity = std::bit_ceil(std::max<size_t>(capacity, 1));
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::unique_ptr<ChunkPool>& slot = r.pools[capacity];
+    if (slot == nullptr) slot.reset(new ChunkPool(capacity));
+    return *slot;
   }
 
   /// Takes a chunk from the calling worker's free list (or mints one).
   std::unique_ptr<Chunk> Alloc() {
-    auto& fl = free_lists_[Scheduler::worker_id()].chunks;
-    if (!fl.empty()) {
-      auto chunk = std::move(fl.back());
-      fl.pop_back();
-      chunk->size = 0;
-      return chunk;
+    FreeList& fl = free_lists_[Scheduler::worker_id()];
+    {
+      std::lock_guard<std::mutex> lock(fl.mu);
+      if (!fl.chunks.empty()) {
+        auto chunk = std::move(fl.chunks.back());
+        fl.chunks.pop_back();
+        chunk->size = 0;
+        return chunk;
+      }
     }
     nvram::MemoryTracker::Get().Allocate(capacity_ * sizeof(vertex_id));
     return std::make_unique<Chunk>(capacity_);
@@ -60,33 +83,52 @@ class ChunkPool {
 
   /// Returns a chunk to the calling worker's free list.
   void Release(std::unique_ptr<Chunk> chunk) {
-    free_lists_[Scheduler::worker_id()].chunks.push_back(std::move(chunk));
+    FreeList& fl = free_lists_[Scheduler::worker_id()];
+    std::lock_guard<std::mutex> lock(fl.mu);
+    fl.chunks.push_back(std::move(chunk));
   }
 
-  /// Frees all pooled chunks (between experiments, to reset the tracker).
+  /// Frees this pool's pooled chunks (between experiments, to reset the
+  /// tracker).
   void Drain() {
     for (auto& fl : free_lists_) {
+      std::lock_guard<std::mutex> lock(fl.mu);
       nvram::MemoryTracker::Get().Free(fl.chunks.size() * capacity_ *
                                        sizeof(vertex_id));
       fl.chunks.clear();
     }
   }
 
+  /// Drains every capacity-keyed pool in the process.
+  static void DrainAll() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [capacity, pool] : r.pools) pool->Drain();
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
   struct alignas(kCacheLineBytes) FreeList {
+    /// Guards against the one worker-id collision the scheduler permits:
+    /// every foreign driver thread reports id 0.
+    std::mutex mu;
     std::vector<std::unique_ptr<Chunk>> chunks;
   };
 
-  ChunkPool() = default;
+  struct Registry {
+    std::mutex mu;
+    std::map<size_t, std::unique_ptr<ChunkPool>> pools;
+  };
 
-  void Reconfigure(size_t capacity) {
-    Drain();
-    capacity_ = capacity;
+  static Registry& GetRegistry() {
+    static Registry registry;
+    return registry;
   }
 
-  size_t capacity_ = 0;
+  explicit ChunkPool(size_t capacity) : capacity_(capacity) {}
+
+  const size_t capacity_;
   FreeList free_lists_[Scheduler::kMaxWorkers];
 };
 

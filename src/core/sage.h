@@ -32,6 +32,7 @@
 #include "core/graph_filter.h"
 #include "core/histogram.h"
 #include "core/vertex_subset.h"
+#include "graph/binary_format.h"
 #include "graph/builder.h"
 #include "graph/compressed_graph.h"
 #include "graph/generators.h"

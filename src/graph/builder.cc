@@ -118,9 +118,9 @@ Graph AddRandomWeights(const Graph& g, uint64_t seed) {
           1 + static_cast<weight_t>(rng.ith_rand(lo * n + hi) % (max_w - 1));
     }
   });
-  return Graph(std::vector<edge_offset>(offsets),
-               std::vector<vertex_id>(neighbors), std::move(weights),
-               g.symmetric());
+  return Graph(std::vector<edge_offset>(offsets.begin(), offsets.end()),
+               std::vector<vertex_id>(neighbors.begin(), neighbors.end()),
+               std::move(weights), g.symmetric());
 }
 
 }  // namespace sage

@@ -82,4 +82,52 @@ CompressedGraph CompressedGraph::FromGraph(const Graph& g,
   return cg;
 }
 
+Status CompressedGraph::ValidateStructure() const {
+  const vertex_id n = num_vertices();
+  // Decode every block with the bounded decoder, tracking the smallest
+  // vertex whose encoding is malformed (kNoVertex = all clean). Unlike the
+  // hot decode path this never aborts: it is the vetting step for bytes
+  // that did not come from FromGraph.
+  vertex_id bad = reduce<vertex_id>(
+      n,
+      [&](size_t vi) -> vertex_id {
+        vertex_id v = static_cast<vertex_id>(vi);
+        const uint64_t nb = num_blocks(v);
+        for (uint64_t b = 0; b < nb; ++b) {
+          const uint64_t blk = first_block_[v] + b;
+          const uint8_t* p = bytes_.data() + block_bytes_offset_[blk];
+          const uint8_t* end = bytes_.data() + block_bytes_offset_[blk + 1];
+          const uint32_t k = block_degree(v, b);
+          uint64_t value;
+          if (!VarintDecodeBounded(p, end, &value)) return v;
+          // Bound the deltas before arithmetic so a hostile encoding can
+          // never overflow the running int64 position.
+          const int64_t sn = static_cast<int64_t>(n);
+          int64_t delta = ZigzagDecode(value);
+          if (delta >= sn || delta < -static_cast<int64_t>(v)) return v;
+          int64_t prev = static_cast<int64_t>(v) + delta;
+          if (prev >= sn) return v;  // first neighbor id out of range
+          if (weighted_ && !VarintDecodeBounded(p, end, &value)) return v;
+          for (uint32_t i = 1; i < k; ++i) {
+            if (!VarintDecodeBounded(p, end, &value)) return v;
+            if (value >= static_cast<uint64_t>(sn)) return v;
+            prev += static_cast<int64_t>(value);
+            if (prev >= sn) return v;
+            if (weighted_ && !VarintDecodeBounded(p, end, &value)) return v;
+          }
+          // Trailing bytes mean the block index disagrees with the
+          // encoding - corrupt even if every value decoded.
+          if (p != end) return v;
+        }
+        return kNoVertex;
+      },
+      [](vertex_id a, vertex_id b) { return a < b ? a : b; }, kNoVertex);
+  if (bad != kNoVertex) {
+    return Status::Corruption(
+        "compressed graph: malformed block encoding at vertex " +
+        std::to_string(bad));
+  }
+  return Status::OK();
+}
+
 }  // namespace sage

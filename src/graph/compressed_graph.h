@@ -14,9 +14,11 @@
 // *compressed* words, modeling the NVRAM-read savings of compression.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "graph/varint.h"
@@ -35,6 +37,14 @@ class CompressedGraph {
   /// Per the paper, the filter block size F_B must equal this value for
   /// compressed inputs.
   static CompressedGraph FromGraph(const Graph& g, uint32_t block_size);
+
+  /// Walks every compression block with the bounded varint decoder and
+  /// verifies the encoding is well-formed: every value decodes within its
+  /// block's byte extent, each block consumes its extent exactly, and every
+  /// decoded neighbor id is in range. Returns Corruption naming the first
+  /// bad vertex. Cheap (one decode pass) relative to any traversal; run it
+  /// once before trusting bytes that did not come from FromGraph.
+  Status ValidateStructure() const;
 
   vertex_id num_vertices() const {
     return static_cast<vertex_id>(degrees_.size());
@@ -84,20 +94,30 @@ class CompressedGraph {
   }
 
   /// Decode without charging (caller charged at a coarser granularity).
+  /// Decoding is bounded by the block's byte extent: structural corruption
+  /// aborts with a diagnostic instead of reading out of bounds (untrusted
+  /// bytes should be vetted once with ValidateStructure(), which reports
+  /// Status instead).
   uint32_t DecodeBlockUncharged(vertex_id v, uint64_t b, vertex_id* out_nbrs,
                                 weight_t* out_wts) const {
     uint64_t blk = first_block_[v] + b;
     const uint8_t* p = bytes_.data() + block_bytes_offset_[blk];
+    const uint8_t* end = bytes_.data() + block_bytes_offset_[blk + 1];
     uint32_t k = block_degree(v, b);
     if (k == 0) return 0;
-    int64_t first =
-        static_cast<int64_t>(v) + ZigzagDecode(VarintDecode(p));
+    uint64_t value;
+    auto decode = [&]() -> uint64_t {
+      SAGE_CHECK_MSG(VarintDecodeBounded(p, end, &value),
+                     "corrupt compressed block %llu of vertex %u",
+                     static_cast<unsigned long long>(b), v);
+      return value;
+    };
+    int64_t first = static_cast<int64_t>(v) + ZigzagDecode(decode());
     out_nbrs[0] = static_cast<vertex_id>(first);
-    if (weighted_) out_wts[0] = static_cast<weight_t>(VarintDecode(p));
+    if (weighted_) out_wts[0] = static_cast<weight_t>(decode());
     for (uint32_t i = 1; i < k; ++i) {
-      out_nbrs[i] = out_nbrs[i - 1] +
-                    static_cast<vertex_id>(VarintDecode(p));
-      if (weighted_) out_wts[i] = static_cast<weight_t>(VarintDecode(p));
+      out_nbrs[i] = out_nbrs[i - 1] + static_cast<vertex_id>(decode());
+      if (weighted_) out_wts[i] = static_cast<weight_t>(decode());
     }
     return k;
   }
@@ -198,6 +218,9 @@ class CompressedGraph {
   uint64_t AdjacencyAddress(vertex_id v) const {
     return block_bytes_offset_[first_block_[v]] / 8;
   }
+
+  /// The raw encoded edge bytes (for validation and size inspection).
+  std::span<const uint8_t> encoded_bytes() const { return bytes_; }
 
   /// Compressed size in bytes (edge bytes + metadata arrays).
   size_t SizeBytes() const {

@@ -11,9 +11,19 @@
 // Accessors charge at neighborhood granularity (one charge per adjacency
 // list scanned) to keep instrumentation overhead well below the work being
 // measured.
+//
+// Storage backends: a Graph reads its CSR arrays through spans backed by a
+// GraphStorage. The default backend owns std::vectors (graphs built in
+// memory); MapBinaryGraph (binary_format.h) supplies a backend borrowing an
+// mmap-ed .bsadj file, which makes AllocPolicy::kGraphNvram literal - the
+// mapped file *is* the NVRAM-resident graph, constructed zero-copy. The
+// backend is shared, so copying a Graph is cheap and never duplicates the
+// (potentially enormous) CSR arrays.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -24,8 +34,48 @@
 
 namespace sage {
 
-/// Immutable CSR graph. Build instances with GraphBuilder (builder.h) or the
-/// generators (generators.h).
+/// Backend owning (or keeping alive) the memory behind a Graph's CSR spans.
+/// Implementations must keep the spanned memory valid and immutable for
+/// their own lifetime.
+class GraphStorage {
+ public:
+  virtual ~GraphStorage() = default;
+
+  /// n+1 offsets; offsets()[n] == neighbors().size().
+  virtual std::span<const edge_offset> offsets() const = 0;
+  virtual std::span<const vertex_id> neighbors() const = 0;
+  /// Empty, or sized like neighbors().
+  virtual std::span<const weight_t> weights() const = 0;
+
+  /// True when the backing memory is a read-only file mapping charged as
+  /// NVRAM-resident (the semi-external setup: the file is the graph).
+  virtual bool nvram_resident() const { return false; }
+};
+
+/// GraphStorage that owns its arrays as std::vectors (the in-memory
+/// backend used by builders and generators).
+class VectorGraphStorage final : public GraphStorage {
+ public:
+  VectorGraphStorage(std::vector<edge_offset> offsets,
+                     std::vector<vertex_id> neighbors,
+                     std::vector<weight_t> weights)
+      : offsets_(std::move(offsets)),
+        neighbors_(std::move(neighbors)),
+        weights_(std::move(weights)) {}
+
+  std::span<const edge_offset> offsets() const override { return offsets_; }
+  std::span<const vertex_id> neighbors() const override { return neighbors_; }
+  std::span<const weight_t> weights() const override { return weights_; }
+
+ private:
+  std::vector<edge_offset> offsets_;
+  std::vector<vertex_id> neighbors_;
+  std::vector<weight_t> weights_;
+};
+
+/// Immutable CSR graph. Build instances with GraphBuilder (builder.h), the
+/// generators (generators.h), or zero-copy over a mapped binary image
+/// (binary_format.h).
 class Graph {
  public:
   /// Marker used by generic code to select block-decode paths.
@@ -37,9 +87,18 @@ class Graph {
   /// neighbors.size() == offsets[n]; weights empty or sized like neighbors.
   Graph(std::vector<edge_offset> offsets, std::vector<vertex_id> neighbors,
         std::vector<weight_t> weights, bool symmetric)
-      : offsets_(std::move(offsets)),
-        neighbors_(std::move(neighbors)),
-        weights_(std::move(weights)),
+      : Graph(std::make_shared<VectorGraphStorage>(std::move(offsets),
+                                                   std::move(neighbors),
+                                                   std::move(weights)),
+              symmetric) {}
+
+  /// Wraps an existing storage backend (owned or borrowed arrays). The
+  /// invariants of the vector constructor apply to the backend's spans.
+  Graph(std::shared_ptr<const GraphStorage> storage, bool symmetric)
+      : storage_(std::move(storage)),
+        offsets_(storage_->offsets()),
+        neighbors_(storage_->neighbors()),
+        weights_(storage_->weights()),
         symmetric_(symmetric) {
     SAGE_CHECK(!offsets_.empty());
     SAGE_CHECK(offsets_.back() == neighbors_.size());
@@ -173,9 +232,15 @@ class Graph {
   /// Global word address of v's adjacency list start (NUMA/cache hints).
   uint64_t AdjacencyAddress(vertex_id v) const { return offsets_[v]; }
 
-  const std::vector<edge_offset>& raw_offsets() const { return offsets_; }
-  const std::vector<vertex_id>& raw_neighbors() const { return neighbors_; }
-  const std::vector<weight_t>& raw_weights() const { return weights_; }
+  std::span<const edge_offset> raw_offsets() const { return offsets_; }
+  std::span<const vertex_id> raw_neighbors() const { return neighbors_; }
+  std::span<const weight_t> raw_weights() const { return weights_; }
+
+  /// True when the CSR arrays are borrowed from an NVRAM-resident file
+  /// mapping rather than owned in memory (see binary_format.h).
+  bool nvram_resident() const {
+    return storage_ != nullptr && storage_->nvram_resident();
+  }
 
   /// Approximate NVRAM bytes occupied by the CSR arrays.
   size_t SizeBytes() const {
@@ -204,9 +269,11 @@ class Graph {
         op, id);
   }
 
-  std::vector<edge_offset> offsets_;
-  std::vector<vertex_id> neighbors_;
-  std::vector<weight_t> weights_;
+  /// Keeps the spanned memory alive; shared across copies of the Graph.
+  std::shared_ptr<const GraphStorage> storage_;
+  std::span<const edge_offset> offsets_;
+  std::span<const vertex_id> neighbors_;
+  std::span<const weight_t> weights_;
   bool symmetric_ = false;
 };
 

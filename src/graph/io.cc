@@ -1,7 +1,11 @@
 #include "graph/io.h"
 
+#include <sys/stat.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "graph/builder.h"
@@ -10,17 +14,55 @@ namespace sage {
 
 namespace {
 
-/// Reads a whole file into a string.
+/// Reads a whole file into a string. A short fread is only accepted as a
+/// small file when the stream reports clean EOF; ferror (bad media, EISDIR,
+/// NFS hiccups) surfaces as IOError with the errno context, so callers can
+/// tell a truncated graph from an unreadable one.
 Result<std::string> Slurp(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  // A directory opens fine but reports a nonsense seekable size; catch it
+  // before sizing the buffer off ftell.
+  struct stat st;
+  if (::fstat(::fileno(f), &st) == 0 && !S_ISREG(st.st_mode)) {
+    std::fclose(f);
+    return Status::IOError("cannot read " + path +
+                           ": not a regular file");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    Status s = Status::IOError("seek failed on " + path + ": " +
+                               std::strerror(errno));
+    std::fclose(f);
+    return s;
+  }
   long size = std::ftell(f);
+  if (size < 0) {
+    Status s = Status::IOError("cannot size " + path + ": " +
+                               std::strerror(errno));
+    std::fclose(f);
+    return s;
+  }
   std::fseek(f, 0, SEEK_SET);
   std::string data(static_cast<size_t>(size), '\0');
   size_t got = std::fread(data.data(), 1, data.size(), f);
+  const bool read_error = std::ferror(f) != 0;
+  const int read_errno = errno;
   std::fclose(f);
-  if (got != data.size()) return Status::IOError("short read on " + path);
+  if (read_error) {
+    return Status::IOError("read error on " + path + ": " +
+                           std::strerror(read_errno));
+  }
+  if (got != data.size()) {
+    // Clean EOF before the sized length: the file shrank between ftell and
+    // fread (concurrent truncation), not an IO fault.
+    return Status::IOError("short read on " + path + " (got " +
+                           std::to_string(got) + " of " +
+                           std::to_string(data.size()) +
+                           " bytes; file truncated mid-read?)");
+  }
   return data;
 }
 
@@ -154,6 +196,8 @@ const char* GraphFileFormatName(GraphFileFormat format) {
       return "edge-list";
     case GraphFileFormat::kWeightedEdgeList:
       return "weighted-edge-list";
+    case GraphFileFormat::kBinaryCsr:
+      return "binary-csr";
   }
   return "unknown";
 }
@@ -163,6 +207,7 @@ namespace {
 /// Extension-based fallback, used only when content sniffing is
 /// inconclusive.
 GraphFileFormat FormatFromExtension(const std::string& path) {
+  if (path.ends_with(".bsadj")) return GraphFileFormat::kBinaryCsr;
   if (path.ends_with(".adj")) return GraphFileFormat::kAdjacencyGraph;
   if (path.ends_with(".wadj")) {
     return GraphFileFormat::kWeightedAdjacencyGraph;
@@ -187,12 +232,30 @@ struct SniffResult {
 
 Result<SniffResult> SniffGraphFormat(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
   char buf[4096];
   size_t got = std::fread(buf, 1, sizeof(buf), f);
+  // A short read is only a small file when the stream hit clean EOF; an
+  // ferror (EISDIR, bad media) must not be sniffed as an empty graph.
+  const bool read_error = std::ferror(f) != 0;
+  const int read_errno = errno;
   std::fclose(f);
+  if (read_error) {
+    return Status::IOError("read error on " + path + ": " +
+                           std::strerror(read_errno));
+  }
   std::string head(buf, got);
   SniffResult result;
+
+  // The binary magic starts with a non-ASCII byte, so it can never collide
+  // with the text paths below; check it first.
+  if (HasBinaryGraphMagic(head.data(), head.size())) {
+    result.format = GraphFileFormat::kBinaryCsr;
+    return result;
+  }
 
   // Skip leading whitespace and '#'/'%' comment lines.
   size_t pos = 0;
@@ -295,6 +358,18 @@ Result<Graph> ReadGraphAuto(const std::string& path, bool symmetric,
   if (!sniffed.ok()) return sniffed.status();
   const SniffResult& sniff = sniffed.ValueOrDie();
   switch (sniff.format) {
+    case GraphFileFormat::kBinaryCsr: {
+      // The image records its own weights and symmetry; open it zero-copy
+      // as the NVRAM-resident graph.
+      auto mapped = MapBinaryGraph(path);
+      if (!mapped.ok()) return mapped.status();
+      if (force_weighted && !mapped.ValueOrDie().weighted()) {
+        return Status::InvalidArgument(
+            path + ": weighted load requested but the binary image is "
+                   "unweighted");
+      }
+      return mapped;
+    }
     case GraphFileFormat::kAdjacencyGraph:
     case GraphFileFormat::kWeightedAdjacencyGraph:
       // Adjacency headers declare weightedness themselves.

@@ -1,6 +1,12 @@
 // Variable-length byte codes used by the compressed CSR format (Ligra+
 // difference encoding). Each value is stored little-endian, 7 bits per byte,
 // high bit = continuation. Signed values use zigzag encoding.
+//
+// Decoding is bounded: VarintDecodeBounded never reads at or past `end` and
+// rejects encodings longer than 64 bits, so a truncated or malformed
+// compressed stream is reported as corruption instead of shifting by more
+// than 63 (UB) or reading out of bounds. There is deliberately no unbounded
+// decode entry point.
 #pragma once
 
 #include <cstdint>
@@ -8,7 +14,7 @@
 
 namespace sage {
 
-/// Appends the varint encoding of x to out.
+/// Appends the varint encoding of x to out (at most 10 bytes).
 inline void VarintEncode(uint64_t x, std::vector<uint8_t>& out) {
   while (x >= 0x80) {
     out.push_back(static_cast<uint8_t>(x) | 0x80);
@@ -17,17 +23,29 @@ inline void VarintEncode(uint64_t x, std::vector<uint8_t>& out) {
   out.push_back(static_cast<uint8_t>(x));
 }
 
-/// Decodes a varint at p, advancing p past it.
-inline uint64_t VarintDecode(const uint8_t*& p) {
+/// Decodes a varint at p without reading at or past `end`, advancing p past
+/// it on success. Returns false - leaving p and *out untouched - when the
+/// value is truncated by `end` or its encoding exceeds 64 bits (more than
+/// 10 bytes, or data bits beyond bit 63 in the 10th byte); both indicate a
+/// corrupt stream.
+inline bool VarintDecodeBounded(const uint8_t*& p, const uint8_t* end,
+                                uint64_t* out) {
   uint64_t x = 0;
   int shift = 0;
-  for (;;) {
-    uint8_t b = *p++;
+  for (const uint8_t* q = p; q < end; shift += 7) {
+    uint8_t b = *q++;
+    // At shift 63 only the lowest data bit fits in 64 bits, and a
+    // continuation bit would require shift 70; both are corruption. The
+    // check also caps `shift`, so the shift below is always defined.
+    if (shift == 63 && (b & ~uint8_t{1}) != 0) return false;
     x |= static_cast<uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) break;
-    shift += 7;
+    if ((b & 0x80) == 0) {
+      p = q;
+      *out = x;
+      return true;
+    }
   }
-  return x;
+  return false;  // ran off `end` mid-value: truncated stream
 }
 
 /// Zigzag: maps signed to unsigned so small magnitudes stay small.

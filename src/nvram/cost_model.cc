@@ -141,7 +141,13 @@ void CostModel::ChargeGraphRead(uint64_t words, uint64_t addr_hint) {
   Shard& s = LocalShard();
   switch (policy_) {
     case AllocPolicy::kAllDram:
-      s.totals.dram_reads += words;
+      // A mapped graph cannot be "in DRAM" by policy: the bytes live in the
+      // NVRAM file image, so its reads pay NVRAM cost even here.
+      if (graph_residence_ == GraphResidence::kMappedNvram) {
+        ChargeNvramRead(s, words, addr_hint);
+      } else {
+        s.totals.dram_reads += words;
+      }
       break;
     case AllocPolicy::kGraphNvram:
     case AllocPolicy::kAllNvram:

@@ -50,6 +50,19 @@ enum class AllocPolicy : uint8_t {
 /// Returns a short printable name for an AllocPolicy.
 const char* AllocPolicyName(AllocPolicy policy);
 
+/// Where the graph region physically lives, independent of the AllocPolicy.
+/// In-memory graphs defer to the policy; an mmap-ed .bsadj image *is*
+/// NVRAM-resident, so its reads charge as NVRAM even under kAllDram (you
+/// cannot declare a file mapping into DRAM by policy). kMemoryMode keeps
+/// its cache simulation either way - Memory Mode already models NVRAM
+/// behind a DRAM cache.
+enum class GraphResidence : uint8_t {
+  /// The AllocPolicy decides (in-memory CSR arrays).
+  kPolicy = 0,
+  /// The graph is a read-only NVRAM file mapping (binary_format.h).
+  kMappedNvram = 1,
+};
+
 /// Placement of the (read-only) graph across emulated NUMA sockets
 /// (Section 5.2 of the paper).
 enum class GraphLayout : uint8_t {
@@ -159,6 +172,14 @@ class CostModel {
   void SetGraphLayout(GraphLayout layout) { graph_layout_ = layout; }
   GraphLayout graph_layout() const { return graph_layout_; }
 
+  /// Sets where the graph region physically lives. kMappedNvram pins graph
+  /// reads to the NVRAM path regardless of the AllocPolicy (set per run by
+  /// AlgorithmRegistry from Graph::nvram_resident()).
+  void SetGraphResidence(GraphResidence residence) {
+    graph_residence_ = residence;
+  }
+  GraphResidence graph_residence() const { return graph_residence_; }
+
   /// Enables debt-based throttling: threads that accrue emulated NVRAM
   /// latency spin it off in 20 us quanta, so wall-clock times take the shape
   /// of an NVRAM machine. `scale` rescales emulated ns to real ns (use < 1
@@ -215,6 +236,7 @@ class CostModel {
   EmulationConfig config_;
   AllocPolicy policy_ = AllocPolicy::kGraphNvram;
   GraphLayout graph_layout_ = GraphLayout::kReplicated;
+  GraphResidence graph_residence_ = GraphResidence::kPolicy;
   bool throttle_enabled_ = false;
   double throttle_scale_ = 1.0;
   Shard shards_[Scheduler::kMaxWorkers];

@@ -399,9 +399,10 @@ TEST(RunReport, JsonIsWellFormedAndCarriesCounters) {
   EXPECT_EQ(open, close);
   for (const char* key :
        {"\"algorithm\": \"bfs\"", "\"summary\"", "\"wall_seconds\"",
-        "\"device_seconds\"", "\"threads\"", "\"policy\"", "\"omega\"",
-        "\"psam_cost\"", "\"peak_intermediate_bytes\"", "\"counters\"",
-        "\"dram_reads\"", "\"nvram_writes\""}) {
+        "\"device_seconds\"", "\"threads\"", "\"policy\"",
+        "\"graph_source\": \"memory\"", "\"omega\"", "\"psam_cost\"",
+        "\"peak_intermediate_bytes\"", "\"counters\"", "\"dram_reads\"",
+        "\"nvram_writes\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
 }

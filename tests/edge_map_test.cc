@@ -4,6 +4,7 @@
 // memory while edgeMapSparse/Blocked use Theta(sum deg) (Table 5).
 #include <atomic>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -176,7 +177,7 @@ uint64_t PeakDuringFullStep(const Graph& g, SparseVariant variant) {
     return static_cast<vertex_id>(i);
   });
   auto frontier = VertexSubset::Sparse(n, std::move(ids));
-  ChunkPool::Get(0).Drain();  // reset pooled chunks between measurements
+  ChunkPool::DrainAll();  // reset pooled chunks between measurements
   auto& mt = nvram::MemoryTracker::Get();
   mt.ResetPeak();
   uint64_t before = mt.CurrentBytes();
@@ -209,6 +210,64 @@ TEST(EdgeMapCosts, TraversalNeverWritesNvram) {
   auto t = cm.Totals();
   EXPECT_EQ(t.nvram_writes, 0u);
   EXPECT_GT(t.nvram_reads, 0u);
+}
+
+TEST(ChunkPool, PoolsAreKeyedByCapacity) {
+  ChunkPool& small = ChunkPool::Get(4096);
+  ChunkPool& large = ChunkPool::Get(16384);
+  EXPECT_NE(&small, &large);
+  EXPECT_EQ(small.capacity(), 4096u);
+  EXPECT_EQ(large.capacity(), 16384u);
+  // Asking for one capacity must never resize the other's chunks (the old
+  // single-pool design reconfigured in place here).
+  auto a = small.Alloc();
+  auto b = large.Alloc();
+  EXPECT_EQ(a->capacity(), 4096u);
+  EXPECT_EQ(b->capacity(), 16384u);
+  small.Release(std::move(a));
+  large.Release(std::move(b));
+  EXPECT_EQ(ChunkPool::Get(4096).Alloc()->capacity(), 4096u);
+  ChunkPool::DrainAll();
+}
+
+// Regression for the ChunkPool::Get reconfigure race: two concurrent
+// traversals over graphs with different average degrees used to fight over
+// one process-wide pool, each dropping and resizing the other's free lists
+// mid-allocation. With capacity-keyed pools (and locked free lists for the
+// shared foreign worker id) both traversals must run correctly in
+// parallel. ASan/TSan builds turn any residual race into a hard failure.
+TEST(ChunkPool, TwoGraphsTraversedInParallel) {
+  Graph sparse_graph = GridGraph(64, 64);   // avg degree ~4
+  Graph dense_graph = RmatGraph(10, 60000, 5);  // avg degree ~50
+  auto ref_sparse = ReferenceLevels(sparse_graph, 0);
+  auto ref_dense = ReferenceLevels(dense_graph, 0);
+
+  EdgeMapOptions opts;
+  opts.sparse_variant = SparseVariant::kChunked;
+  opts.mode = TraversalMode::kSparseOnly;  // chunk pools on every step
+
+  std::atomic<int> mismatches{0};
+  auto traverse = [&](const Graph& g, const std::vector<uint32_t>& ref,
+                      size_t pool_capacity) {
+    for (int iter = 0; iter < 4; ++iter) {
+      if (BfsLevels(g, 0, opts) != ref) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Hammer the capacity-keyed lookup the way a traversal with this
+      // graph's degree profile would.
+      auto chunk = ChunkPool::Get(pool_capacity).Alloc();
+      if (chunk->capacity() != pool_capacity) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      ChunkPool::Get(pool_capacity).Release(std::move(chunk));
+    }
+  };
+  std::thread t1([&] { traverse(sparse_graph, ref_sparse, 4096); });
+  std::thread t2([&] { traverse(dense_graph, ref_dense, 8192); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ChunkPool::DrainAll();
 }
 
 }  // namespace

@@ -23,8 +23,13 @@ TEST(Varint, RoundTripsBoundaryValues) {
   std::vector<uint8_t> buf;
   for (uint64_t v : values) VarintEncode(v, buf);
   const uint8_t* p = buf.data();
-  for (uint64_t v : values) ASSERT_EQ(VarintDecode(p), v);
-  EXPECT_EQ(p, buf.data() + buf.size());
+  const uint8_t* end = buf.data() + buf.size();
+  for (uint64_t v : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(VarintDecodeBounded(p, end, &decoded));
+    ASSERT_EQ(decoded, v);
+  }
+  EXPECT_EQ(p, end);
 }
 
 TEST(Varint, ZigzagRoundTripsSignedValues) {

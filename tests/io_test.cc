@@ -1,5 +1,6 @@
 // Tests for graph I/O: AdjacencyGraph round trips, weighted graphs,
 // edge lists, and corruption handling.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -32,8 +33,8 @@ TEST(AdjacencyGraphIO, RoundTripsUnweighted) {
   const Graph& h = result.ValueOrDie();
   EXPECT_EQ(h.num_vertices(), g.num_vertices());
   EXPECT_EQ(h.num_edges(), g.num_edges());
-  EXPECT_EQ(h.raw_offsets(), g.raw_offsets());
-  EXPECT_EQ(h.raw_neighbors(), g.raw_neighbors());
+  EXPECT_TRUE(std::ranges::equal(h.raw_offsets(), g.raw_offsets()));
+  EXPECT_TRUE(std::ranges::equal(h.raw_neighbors(), g.raw_neighbors()));
   EXPECT_TRUE(h.symmetric());
 }
 
@@ -45,7 +46,7 @@ TEST(AdjacencyGraphIO, RoundTripsWeighted) {
   ASSERT_TRUE(result.ok());
   const Graph& h = result.ValueOrDie();
   EXPECT_TRUE(h.weighted());
-  EXPECT_EQ(h.raw_weights(), g.raw_weights());
+  EXPECT_TRUE(std::ranges::equal(h.raw_weights(), g.raw_weights()));
 }
 
 TEST(AdjacencyGraphIO, ParsesHandWrittenFile) {
@@ -235,6 +236,41 @@ TEST(FormatDetection, MissingFileIsIOError) {
   auto fmt = DetectGraphFormat(TempPath("does-not-exist.adj"));
   EXPECT_FALSE(fmt.ok());
   EXPECT_EQ(fmt.status().code(), StatusCode::kIOError);
+}
+
+TEST(FormatDetection, BinaryMagicWinsOverTextSniffing) {
+  // A full .bsadj image sniffs as binary CSR even with a text extension.
+  Graph g = RmatGraph(6, 500, 3);
+  std::string path = TempPath("disguised.txt");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  auto fmt = DetectGraphFormat(path);
+  ASSERT_TRUE(fmt.ok());
+  EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kBinaryCsr);
+
+  // And the .bsadj extension breaks the tie for an empty file.
+  std::string empty = TempPath("empty.bsadj");
+  WriteFile(empty, "");
+  auto fmt_ext = DetectGraphFormat(empty);
+  ASSERT_TRUE(fmt_ext.ok());
+  EXPECT_EQ(fmt_ext.ValueOrDie(), GraphFileFormat::kBinaryCsr);
+}
+
+TEST(IOErrorPaths, UnreadableInputIsIOErrorNotShortFile) {
+  // A directory opens but cannot be fread (EISDIR): every reader must
+  // report IOError with the errno context, never treat the failed read as
+  // a small or empty file.
+  std::string dir = ::testing::TempDir();
+  auto slurped = ReadAdjacencyGraph(dir, true);
+  ASSERT_FALSE(slurped.ok());
+  EXPECT_EQ(slurped.status().code(), StatusCode::kIOError);
+
+  auto edges = ReadEdgeList(dir, false);
+  ASSERT_FALSE(edges.ok());
+  EXPECT_EQ(edges.status().code(), StatusCode::kIOError);
+
+  auto sniffed = DetectGraphFormat(dir);
+  ASSERT_FALSE(sniffed.ok());
+  EXPECT_EQ(sniffed.status().code(), StatusCode::kIOError);
 }
 
 TEST(ReadGraphAuto, LoadsEveryDetectableFormat) {
