@@ -1,14 +1,14 @@
-// Shared infrastructure for the per-table/figure benchmark binaries.
+// Shared infrastructure for the registered benchmarks behind sage_bench.
 //
-// Every binary reproduces one table or figure of the paper (see DESIGN.md
-// section 5). The machines differ (the paper used 48 cores + 3 TB of
-// Optane; this harness runs on whatever is available against the emulated
-// NVRAM), so the binaries report *shape*: who wins, by what factor, where
-// crossovers are - not absolute seconds.
+// Every benchmark reproduces one table or figure of the paper. The
+// machines differ (the paper used 48 cores + 3 TB of Optane; this harness
+// runs on whatever is available against the emulated NVRAM), so the
+// benchmarks report *shape*: who wins, by what factor, where crossovers
+// are - not absolute seconds.
 //
 // Scaling: graphs default to a few hundred thousand edges so the whole
 // bench suite finishes in minutes; set SAGE_BENCH_LOGN / SAGE_BENCH_EDGES
-// to scale up.
+// (or the driver's -logn/-edges flags, which win) to scale up or down.
 #pragma once
 
 #include <algorithm>
@@ -20,24 +20,74 @@
 #include "algorithms/algorithms.h"
 #include "baselines/gbbs_algorithms.h"
 #include "core/sage.h"
+#include "harness.h"
 
 namespace sage::bench {
 
-/// Benchmark graph scale from the environment.
-inline int BenchLogN() {
-  if (const char* env = std::getenv("SAGE_BENCH_LOGN")) {
-    int v = std::atoi(env);
-    if (v >= 8 && v <= 26) return v;
-  }
-  return 15;
+/// The one place the accepted scale ranges live: shared by the env readers
+/// below, the driver's -logn/-edges validation, and the usage string.
+inline constexpr int kMinBenchLogN = 8;
+inline constexpr int kMaxBenchLogN = 26;
+inline constexpr int kDefaultBenchLogN = 15;
+inline constexpr int64_t kMinBenchEdges = 1;
+inline constexpr int64_t kMaxBenchEdges = int64_t{1} << 32;
+inline constexpr uint64_t kDefaultBenchEdges = 400000;
+
+/// Strict base-10 integer parse shared by the env readers below and the
+/// driver's flag validation: empty input, a non-numeric prefix, or
+/// trailing garbage ("2e6", "1O") is a failure, never a prefix parse.
+inline bool ParseBenchInt(const char* text, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
+/// Benchmark graph scale from the environment. Accepted range: an integer
+/// in [kMinBenchLogN, kMaxBenchLogN] (log2 of the vertex count); anything
+/// else — unparsable, trailing garbage, or out of range — warns to stderr
+/// once and falls back to the default of 15.
+inline int BenchLogN() {
+  static const int value = [] {
+    const char* env = std::getenv("SAGE_BENCH_LOGN");
+    if (env == nullptr) return kDefaultBenchLogN;
+    long long v = 0;
+    if (!ParseBenchInt(env, &v) || v < kMinBenchLogN ||
+        v > kMaxBenchLogN) {
+      std::fprintf(stderr,
+                   "[sage-bench] SAGE_BENCH_LOGN='%s' is not an integer in "
+                   "[%d, %d]; using default %d\n",
+                   env, kMinBenchLogN, kMaxBenchLogN, kDefaultBenchLogN);
+      return kDefaultBenchLogN;
+    }
+    return static_cast<int>(v);
+  }();
+  return value;
+}
+
+/// Benchmark edge count from the environment. Accepted range: an integer
+/// in [kMinBenchEdges, kMaxBenchEdges] = [1, 2^32]; anything else warns to
+/// stderr once and falls back to the default of 400000.
 inline uint64_t BenchEdges() {
-  if (const char* env = std::getenv("SAGE_BENCH_EDGES")) {
-    long long v = std::atoll(env);
-    if (v > 0) return static_cast<uint64_t>(v);
-  }
-  return 400000;
+  static const uint64_t value = [] {
+    const char* env = std::getenv("SAGE_BENCH_EDGES");
+    if (env == nullptr) return kDefaultBenchEdges;
+    long long v = 0;
+    if (!ParseBenchInt(env, &v) || v < kMinBenchEdges ||
+        v > kMaxBenchEdges) {
+      std::fprintf(stderr,
+                   "[sage-bench] SAGE_BENCH_EDGES='%s' is not an integer in "
+                   "[%lld, %lld]; using default %llu\n",
+                   env, static_cast<long long>(kMinBenchEdges),
+                   static_cast<long long>(kMaxBenchEdges),
+                   static_cast<unsigned long long>(kDefaultBenchEdges));
+      return kDefaultBenchEdges;
+    }
+    return static_cast<uint64_t>(v);
+  }();
+  return value;
 }
 
 /// The benchmark input: an RMAT (power-law, web-like) graph standing in for
@@ -51,6 +101,12 @@ inline BenchInput MakeBenchInput(uint64_t seed = 1) {
   Graph g = RmatGraph(BenchLogN(), BenchEdges(), seed);
   Graph gw = AddRandomWeights(g, seed + 1);
   return BenchInput{std::move(g), std::move(gw)};
+}
+
+/// GraphScale record header for `g` generated at the ambient bench scale.
+inline GraphScale ScaleOf(const Graph& g) {
+  return GraphScale{BenchLogN(), BenchEdges(), g.num_vertices(),
+                    g.num_edges()};
 }
 
 /// A system configuration of Figures 1 and 7.
@@ -90,14 +146,14 @@ inline SystemConfig GaloisLike() {
           SparseVariant::kSparse, true};
 }
 
-/// One problem's measurement under one configuration.
-struct Measurement {
-  std::string problem;
-  double wall_seconds = 0;   // host wall clock (noisy at bench scale)
-  double device_seconds = 0; // deterministic emulated device time
-  double model_seconds = 0;  // wall + emulated extra NVRAM latency
-  nvram::CostTotals cost;
-};
+/// The record-config rendering of a SystemConfig.
+inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
+    const SystemConfig& config) {
+  return {{"system", config.name},
+          {"policy", nvram::AllocPolicyName(config.policy)},
+          {"sparse", SparseVariantName(config.sparse)},
+          {"mutating", config.mutating ? "true" : "false"}};
+}
 
 /// Roofline combination of compute and device: a run takes at least its
 /// host wall time (compute) and at least the emulated device time of its
@@ -108,34 +164,6 @@ inline double ModelSeconds(double wall, const nvram::CostTotals& t) {
   auto& cm = nvram::CostModel::Get();
   double device = cm.EmulatedNanos(t, num_workers()) / 1e9;
   return wall > device ? wall : device;
-}
-
-/// Runs `fn` under `config`, measuring wall time and cost-model deltas.
-template <typename Fn>
-Measurement Measure(const std::string& problem, const SystemConfig& config,
-                    const Fn& fn) {
-  auto& cm = nvram::CostModel::Get();
-  cm.SetAllocPolicy(config.policy);
-  fn();  // warm run: pools, page faults, branch predictors
-  // Two timed runs, min wall: host wall clock at bench scale is noisy and
-  // the roofline model needs the compute floor, not the jitter.
-  double wall = 1e300;
-  nvram::CostTotals totals;
-  for (int rep = 0; rep < 2; ++rep) {
-    cm.ResetCounters();
-    Timer timer;
-    fn();
-    wall = std::min(wall, timer.Seconds());
-    totals = cm.Totals();
-  }
-  Measurement m;
-  m.problem = problem;
-  m.wall_seconds = wall;
-  m.cost = totals;
-  m.device_seconds = cm.EmulatedNanos(m.cost, num_workers()) / 1e9;
-  m.model_seconds = ModelSeconds(m.wall_seconds, m.cost);
-  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
-  return m;
 }
 
 /// RunContext equivalent of a SystemConfig (for the registry-driven rows).
@@ -149,99 +177,97 @@ inline RunContext ContextFor(const SystemConfig& config) {
   return ctx;
 }
 
-/// Measures one registry algorithm under `config` through the engine API,
-/// with the same protocol as Measure(): one warm run, then two timed runs
-/// keeping the min wall clock.
-inline Measurement MeasureRegistry(const AlgorithmInfo& info,
+/// Measures `fn` under `config` with the context's warmup + repetition
+/// protocol, restoring the previous allocation policy afterwards. The
+/// record carries the SystemConfig as its config pairs.
+template <typename Fn>
+BenchRecord Measure(BenchContext& ctx, const std::string& label,
+                    const SystemConfig& config, const Fn& fn) {
+  auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev = cm.alloc_policy();
+  cm.SetAllocPolicy(config.policy);
+  BenchRecord r = ctx.MeasureFn(label, fn);
+  cm.SetAllocPolicy(prev);
+  r.config = ConfigPairs(config);
+  return r;
+}
+
+/// Measures one registry algorithm under `config` through the engine API
+/// (counters, device time, and peak DRAM from the facade's RunReport).
+inline BenchRecord MeasureRegistry(BenchContext& ctx,
+                                   const AlgorithmInfo& info,
                                    const SystemConfig& config,
                                    const BenchInput& in,
                                    const RunParams& params = RunParams{}) {
-  RunContext ctx = ContextFor(config);
-  Measurement m;
-  m.problem = info.table1_row;
-  m.wall_seconds = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
-    auto run =
-        AlgorithmRegistry::Run(info.name, in.graph, in.weighted, ctx, params);
-    SAGE_CHECK_MSG(run.ok(), "%s: %s", info.name.c_str(),
-                   run.status().ToString().c_str());
-    if (rep == 0) continue;  // warm run: pools, page faults, predictors
-    const RunReport& r = run.ValueOrDie();
-    if (r.wall_seconds < m.wall_seconds) m.wall_seconds = r.wall_seconds;
-    m.cost = r.cost;
-    m.device_seconds = r.device_seconds;
-  }
-  m.model_seconds = std::max(m.wall_seconds, m.device_seconds);
-  return m;
+  BenchRecord r = ctx.MeasureAlgorithm(info.table1_row, info.name, in.graph,
+                                       in.weighted, ContextFor(config),
+                                       params);
+  r.config = ConfigPairs(config);
+  return r;
 }
 
 /// Runs all 18 problems (19 rows: PageRank-Iter and PageRank, as in
-/// Figure 1) under a configuration. Rows come from the algorithm registry
-/// in Table 1 order; the mutating configurations swap in the GBBS
-/// baselines for the two filter-based problems, and PageRank gains the
-/// Figure 1 fixed-iteration twin row.
-inline std::vector<Measurement> RunAllProblems(const BenchInput& in,
+/// Figure 1) under a configuration, reporting one record per row through
+/// `ctx`. Rows come from the algorithm registry in Table 1 order; the
+/// mutating configurations swap in the GBBS baselines for the two
+/// filter-based problems, and PageRank gains the Figure 1 fixed-iteration
+/// twin row. Returns copies of the reported records for ratio notes.
+inline std::vector<BenchRecord> RunAllProblems(BenchContext& ctx,
+                                               const BenchInput& in,
                                                const SystemConfig& config) {
   const Graph& g = in.graph;
-  std::vector<Measurement> out;
+  std::vector<BenchRecord> out;
   for (const auto& entry : AlgorithmRegistry::Get().entries()) {
     const AlgorithmInfo& info = entry.info;
     if (config.mutating && info.name == "maximal-matching") {
-      out.push_back(Measure(info.table1_row, config, [&] {
+      out.push_back(Measure(ctx, info.table1_row, config, [&] {
         (void)baselines::GbbsMaximalMatching(g);
       }));
-      continue;
-    }
-    if (config.mutating && info.name == "triangle-count") {
-      out.push_back(Measure(info.table1_row, config, [&] {
+    } else if (config.mutating && info.name == "triangle-count") {
+      out.push_back(Measure(ctx, info.table1_row, config, [&] {
         (void)baselines::GbbsTriangleCount(g);
       }));
-      continue;
-    }
-    if (info.name == "pagerank") {
-      out.push_back(Measure("PageRank-Iter", config,
+    } else if (info.name == "pagerank") {
+      out.push_back(Measure(ctx, "PageRank-Iter", config,
                             [&] { (void)PageRankIteration(g); }));
       RunParams params;
       params.pagerank_max_iters = 30;
-      out.push_back(MeasureRegistry(info, config, in, params));
-      continue;
+      out.push_back(MeasureRegistry(ctx, info, config, in, params));
+    } else {
+      out.push_back(MeasureRegistry(ctx, info, config, in));
     }
-    out.push_back(MeasureRegistry(info, config, in));
   }
+  for (const BenchRecord& r : out) ctx.Report(r);
   return out;
 }
 
-/// Prints a comparison table: problems x systems, with the slowdown
-/// relative to the fastest system per problem (the format of Figures 1
-/// and 7). Ranked by the roofline model time (max of compute wall time
-/// and emulated device time), which is what the paper's NVRAM wall-clock
-/// comparisons measure.
-inline void PrintComparison(
-    const std::vector<std::vector<Measurement>>& systems,
+/// Appends per-system average-slowdown notes over the aligned row sets of
+/// several systems (the summary of Figures 1 and 7): slowdown of each
+/// system's roofline model time relative to the fastest system per row,
+/// averaged over rows.
+inline void NoteAverageSlowdowns(
+    BenchContext& ctx, const std::vector<std::vector<BenchRecord>>& systems,
     const std::vector<std::string>& names) {
-  std::printf("%-18s", "problem");
-  for (const auto& n : names) std::printf(" | %22s", n.c_str());
-  std::printf("\n");
-  size_t rows = systems.empty() ? 0 : systems[0].size();
-  std::vector<double> avg_slowdown(systems.size(), 0.0);
+  if (systems.empty() || systems[0].empty()) return;
+  size_t rows = systems[0].size();
+  std::vector<double> avg(systems.size(), 0.0);
   for (size_t r = 0; r < rows; ++r) {
     double best = 1e300;
     for (const auto& sys : systems) {
       best = std::min(best, sys[r].model_seconds);
     }
-    std::printf("%-18s", systems[0][r].problem.c_str());
     for (size_t s = 0; s < systems.size(); ++s) {
-      double slow = systems[s][r].model_seconds / best;
-      avg_slowdown[s] += slow;
-      std::printf(" | %9.4fs (%6.2fx)", systems[s][r].model_seconds, slow);
+      avg[s] += systems[s][r].model_seconds / best;
     }
-    std::printf("\n");
   }
-  std::printf("%-18s", "avg-slowdown");
+  std::string line = "avg-slowdown (roofline model vs fastest per row):";
+  char buf[96];
   for (size_t s = 0; s < systems.size(); ++s) {
-    std::printf(" | %19.2fx ", avg_slowdown[s] / rows);
+    std::snprintf(buf, sizeof(buf), " %s=%.2fx", names[s].c_str(),
+                  avg[s] / rows);
+    line += buf;
   }
-  std::printf("\n");
+  ctx.Note(line);
 }
 
 }  // namespace sage::bench

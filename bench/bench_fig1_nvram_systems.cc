@@ -5,38 +5,39 @@
 // same ordering, with Sage fastest on (nearly) all rows.
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-int main() {
+SAGE_BENCHMARK(fig1_nvram_systems,
+               "Figure 1: NVRAM systems on a larger-than-DRAM graph, all "
+               "18 problems") {
   auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
   // Figure 1's regime: the graph does NOT fit in DRAM. The paper's machine
   // has 8x more NVRAM than DRAM; size the MemoryMode cache to 1/8 of the
   // graph so Memory Mode systems pay the miss traffic they pay at scale.
+  auto& cm = nvram::CostModel::Get();
+  const nvram::EmulationConfig prev = cm.config();
   {
-    auto& cm = nvram::CostModel::Get();
-    auto cfg = cm.config();
+    auto cfg = prev;
     uint64_t graph_words = in.graph.SizeBytes() / 8;
     cfg.memory_mode_lines = std::max<uint64_t>(
         1024, graph_words / 8 / cfg.memory_mode_line_words);
     cm.SetConfig(cfg);
   }
-  std::printf("== Figure 1: NVRAM systems on a larger-than-DRAM graph "
-              "(n=%u, m=%llu) ==\n",
-              in.graph.num_vertices(),
-              static_cast<unsigned long long>(in.graph.num_edges()));
-  std::printf("(model seconds = wall + emulated NVRAM latency; MemoryMode "
-              "systems pay cache-miss traffic)\n\n");
+  ctx.Note("(model seconds = wall + emulated NVRAM latency; MemoryMode "
+           "systems pay cache-miss traffic)");
   std::vector<SystemConfig> configs = {SageNvram(), GbbsMemMode(),
                                        GaloisLike()};
-  std::vector<std::vector<Measurement>> results;
+  std::vector<std::vector<BenchRecord>> results;
   std::vector<std::string> names;
   for (const auto& c : configs) {
-    results.push_back(RunAllProblems(in, c));
+    results.push_back(RunAllProblems(ctx, in, c));
     names.push_back(c.name);
   }
-  PrintComparison(results, names);
-  std::printf("\npaper: Sage 1.87x faster than GBBS-MemMode and 1.94x "
-              "faster than Galois on average (Hyperlink2012).\n");
-  return 0;
+  cm.SetConfig(prev);
+  NoteAverageSlowdowns(ctx, results, names);
+  ctx.Note("paper: Sage 1.87x faster than GBBS-MemMode and 1.94x faster "
+           "than Galois on average (Hyperlink2012).");
 }
+
+}  // namespace sage::bench

@@ -2,19 +2,26 @@
 // paper sweeps to 96 hyper-threads on 48 cores; this harness sweeps the
 // cores available and reports the same speedup series per problem (shape:
 // all problems scale; absolute speedups scale with the machine).
+//
+// Records are per (problem, width): same label, distinguished by the
+// record's `threads` field (check_perf keys on it), so the JSON carries
+// the whole speedup series.
 #include <functional>
 #include <thread>
 
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-int main() {
+SAGE_BENCHMARK(fig6_scalability,
+               "Figure 6: parallel speedup T1/Tp across thread widths") {
   auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
   const Graph& g = in.graph;
   const Graph& gw = in.weighted;
   auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev = cm.alloc_policy();
+  const int entry_workers = num_workers();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
   int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -40,31 +47,24 @@ int main() {
       {"PageRank", [&] { (void)PageRank(g, 1e-6, 20); }},
   };
 
-  std::printf("== Figure 6: speedup T1/Tp on %d hardware threads ==\n\n",
-              hw);
-  std::printf("%-18s", "problem");
-  for (int t : threads) std::printf("   T%-3d(s)", t);
-  std::printf("   speedup(T1/T%d)\n", threads.back());
   for (auto& p : problems) {
-    std::printf("%-18s", p.name);
     double t1 = 0, tp = 0;
     for (int t : threads) {
       Scheduler::Reset(t);
-      p.run();  // warm up allocator/pools at this width
-      double s = 1e300;
-      for (int rep = 0; rep < 3; ++rep) {  // min-of-3 against host jitter
-        Timer timer;
-        p.run();
-        s = std::min(s, timer.Seconds());
-      }
-      if (t == 1) t1 = s;
-      tp = s;
-      std::printf(" %9.3f", s);
+      BenchRecord r = ctx.MeasureFn(p.name, p.run);  // min-wall vs jitter
+      if (t == 1) t1 = r.wall.min;
+      tp = r.wall.min;
+      ctx.Report(std::move(r));
     }
-    std::printf(" %10.2fx\n", t1 / tp);
+    ctx.NoteF("%s: speedup T1/T%d = %.2fx", p.name, threads.back(),
+              t1 / tp);
   }
-  Scheduler::Reset(0);
-  std::printf("\npaper: 9-63x speedups on 48 cores / 96 hyper-threads; "
-              "expect proportionally smaller values here.\n");
-  return 0;
+  // Back to the width the driver configured (a bare Reset(0) would leave
+  // every later benchmark at the hardware default, ignoring -threads).
+  Scheduler::Reset(entry_workers);
+  cm.SetAllocPolicy(prev);
+  ctx.Note("paper: 9-63x speedups on 48 cores / 96 hyper-threads; expect "
+           "proportionally smaller values here.");
 }
+
+}  // namespace sage::bench

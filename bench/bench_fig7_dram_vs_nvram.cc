@@ -7,24 +7,22 @@
 //     conversion pays omega on every temporary write.
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-int main() {
+SAGE_BENCHMARK(fig7_dram_vs_nvram,
+               "Figure 7: DRAM vs NVRAM system configurations, all 18 "
+               "problems") {
   auto in = MakeBenchInput();
-  std::printf("== Figure 7: DRAM vs NVRAM configurations (n=%u, m=%llu) "
-              "==\n\n",
-              in.graph.num_vertices(),
-              static_cast<unsigned long long>(in.graph.num_edges()));
+  ctx.SetScale(ScaleOf(in.graph));
   std::vector<SystemConfig> configs = {GbbsDram(), GbbsVmmalloc(), SageDram(),
                                        SageNvram()};
-  std::vector<std::vector<Measurement>> results;
+  std::vector<std::vector<BenchRecord>> results;
   std::vector<std::string> names;
   for (const auto& c : configs) {
-    results.push_back(RunAllProblems(in, c));
+    results.push_back(RunAllProblems(ctx, in, c));
     names.push_back(c.name);
   }
-  PrintComparison(results, names);
+  NoteAverageSlowdowns(ctx, results, names);
 
   // Headline ratios of Section 5.4. Wall-clock comparisons (DRAM rows) use
   // the roofline model; the libvmmalloc comparison is about *device*
@@ -39,13 +37,14 @@ int main() {
     vm_dev += results[1][r].device_seconds;
     sage_nvram_dev += results[3][r].device_seconds;
   }
-  std::printf("\nSage-NVRAM / GBBS-DRAM            : %5.2fx (paper: ~1.01x)\n",
-              sage_nvram / gbbs_dram);
-  std::printf("GBBS-DRAM / Sage-DRAM             : %5.2fx (paper: ~1.17x)\n",
-              gbbs_dram / sage_dram);
-  std::printf("GBBS-vmmalloc / Sage-NVRAM (device): %5.2fx (paper: ~6.69x)\n",
-              vm_dev / sage_nvram_dev);
-  std::printf("Sage-NVRAM / Sage-DRAM            : %5.2fx (paper: ~1.05x)\n",
-              sage_nvram / sage_dram);
-  return 0;
+  ctx.NoteF("Sage-NVRAM / GBBS-DRAM            : %5.2fx (paper: ~1.01x)",
+            sage_nvram / gbbs_dram);
+  ctx.NoteF("GBBS-DRAM / Sage-DRAM             : %5.2fx (paper: ~1.17x)",
+            gbbs_dram / sage_dram);
+  ctx.NoteF("GBBS-vmmalloc / Sage-NVRAM (device): %5.2fx (paper: ~6.69x)",
+            vm_dev / sage_nvram_dev);
+  ctx.NoteF("Sage-NVRAM / Sage-DRAM            : %5.2fx (paper: ~1.05x)",
+            sage_nvram / sage_dram);
 }
+
+}  // namespace sage::bench

@@ -8,17 +8,16 @@
 // shows the same ordering and ratios of the same magnitude.
 #include "bench_common.h"
 
-using namespace sage;
+namespace sage::bench {
 
 namespace {
 
 /// The microbenchmark: count neighbors of every vertex (reduce over the
-/// adjacency), write one word per vertex. Returns the emulated device time
-/// (the scan is bandwidth-bound on a real machine, so device time is what
-/// the paper's wall clock measured).
-double RunScan(const Graph& g) {
+/// adjacency), write one word per vertex. The scan is bandwidth-bound on a
+/// real machine, so the record's emulated device time is what the paper's
+/// wall clock measured.
+void RunScan(const Graph& g) {
   auto& cm = nvram::CostModel::Get();
-  cm.ResetCounters();
   auto counts = tabulate<uint64_t>(g.num_vertices(), [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     uint64_t c = 0;
@@ -28,21 +27,25 @@ double RunScan(const Graph& g) {
   cm.ChargeWorkWrite(g.num_vertices());
   volatile uint64_t sink = counts[0];
   (void)sink;
-  return cm.EmulatedNanos(cm.Totals(), num_workers()) / 1e9;
 }
 
 }  // namespace
 
-int main() {
-  auto in = bench::MakeBenchInput();
+SAGE_BENCHMARK(numa_layout,
+               "Section 5.2: NVRAM graph layout (local/interleaved/"
+               "replicated) vs scan device time") {
+  auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
   auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev_policy = cm.alloc_policy();
+  const nvram::GraphLayout prev_layout = cm.graph_layout();
+  const int entry_workers = num_workers();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
-  std::printf("== Section 5.2: graph layout in NVRAM (model seconds) ==\n");
   struct Case {
     const char* name;
     nvram::GraphLayout layout;
-    int threads;  // 0 = all
+    int threads;  // 0 = all, -1 = half the workers (one socket's worth)
   };
   std::vector<Case> cases = {
       {"one socket, local graph", nvram::GraphLayout::kReplicated, -1},
@@ -52,23 +55,28 @@ int main() {
   std::vector<double> secs;
   for (const auto& c : cases) {
     if (c.threads == -1) {
-      // Half the workers = one socket's worth of threads.
-      Scheduler::Reset(std::max(1, (num_workers() + 1) / 2));
+      Scheduler::Reset(std::max(1, (entry_workers + 1) / 2));
     } else {
-      Scheduler::Reset(0);
+      Scheduler::Reset(entry_workers);
     }
     cm.SetGraphLayout(c.layout);
-    double s = RunScan(in.graph);
-    secs.push_back(s);
-    std::printf("%-28s %9.4f s\n", c.name, s);
+    BenchRecord r = ctx.MeasureFn(c.name, [&] { RunScan(in.graph); });
+    r.config = {{"layout", c.layout == nvram::GraphLayout::kInterleaved
+                               ? "interleaved"
+                               : "replicated"},
+                {"sockets", c.threads == -1 ? "one" : "both"}};
+    secs.push_back(r.device_seconds);
+    ctx.Report(std::move(r));
   }
-  cm.SetGraphLayout(nvram::GraphLayout::kReplicated);
-  Scheduler::Reset(0);
-  std::printf("\ninterleaved / one-socket : %5.2fx   (paper: 3.7x)\n",
-              secs[1] / secs[0]);
-  std::printf("one-socket / replicated  : %5.2fx   (paper: 1.6x)\n",
-              secs[0] / secs[2]);
-  std::printf("interleaved / replicated : %5.2fx   (paper: 6.2x)\n",
-              secs[1] / secs[2]);
-  return 0;
+  cm.SetGraphLayout(prev_layout);
+  cm.SetAllocPolicy(prev_policy);
+  Scheduler::Reset(entry_workers);
+  ctx.NoteF("interleaved / one-socket : %5.2fx   (paper: 3.7x)",
+            secs[1] / secs[0]);
+  ctx.NoteF("one-socket / replicated  : %5.2fx   (paper: 1.6x)",
+            secs[0] / secs[2]);
+  ctx.NoteF("interleaved / replicated : %5.2fx   (paper: 6.2x)",
+            secs[1] / secs[2]);
 }
+
+}  // namespace sage::bench

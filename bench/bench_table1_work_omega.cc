@@ -6,74 +6,69 @@
 // systems: Sage's column stays flat; GBBS's grows linearly in omega.
 #include "bench_common.h"
 
-using namespace sage;
+namespace sage::bench {
 
-int main() {
-  auto in = bench::MakeBenchInput();
+SAGE_BENCHMARK(table1_work_omega,
+               "Table 1: PSAM cost vs omega, Sage vs GBBS-style "
+               "baselines") {
+  auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
+  // Counter shapes are deterministic per run, so the sweep runs each
+  // (case, omega) cell once: repetitions would multiply the 50-cell sweep
+  // without changing a single counter.
+  ctx.SetProtocol(/*repetitions=*/1, /*warmup=*/0);
   auto& cm = nvram::CostModel::Get();
+  const nvram::EmulationConfig prev_config = cm.config();
+  const nvram::AllocPolicy prev_policy = cm.alloc_policy();
   const std::vector<double> omegas = {1, 2, 4, 8, 16};
 
-  struct Case {
-    const char* name;
-    bool mutating;
-  };
-
-  std::printf("== Table 1: PSAM cost vs omega "
-              "(cost = reads + omega*nvram_writes, in millions) ==\n");
-  std::printf("Sage never writes NVRAM; GBBS-style packing and libvmmalloc "
-              "temporaries do.\n\n");
-
-  auto run = [&](const char* name, nvram::AllocPolicy policy, auto fn) {
-    std::printf("%-34s", name);
-    uint64_t writes = 0;
+  auto sweep = [&](const char* name, nvram::AllocPolicy policy,
+                   const std::function<void()>& fn) {
     for (double omega : omegas) {
       auto cfg = cm.config();
       cfg.omega = omega;
       cm.SetConfig(cfg);
       cm.SetAllocPolicy(policy);
-      cm.ResetCounters();
-      fn();
-      auto t = cm.Totals();
-      writes = t.nvram_writes;
-      std::printf(" %10.1f", t.PsamCost(omega) / 1e6);
+      char label[80];
+      std::snprintf(label, sizeof(label), "%s @ omega=%g", name, omega);
+      BenchRecord r = ctx.MeasureFn(label, fn);
+      r.config = {{"case", name},
+                  {"policy", nvram::AllocPolicyName(policy)}};
+      r.AddMetric("psam_cost_millions", r.counters.PsamCost(omega) / 1e6);
+      ctx.Report(std::move(r));
     }
-    std::printf("   nvram_writes=%llu\n",
-                static_cast<unsigned long long>(writes));
   };
 
-  std::printf("%-34s", "omega:");
-  for (double omega : omegas) std::printf(" %10.0f", omega);
-  std::printf("\n");
-
   const Graph& g = in.graph;
-  run("Sage BFS", nvram::AllocPolicy::kGraphNvram, [&] { (void)Bfs(g, 0); });
-  run("GBBS BFS (libvmmalloc)", nvram::AllocPolicy::kAllNvram, [&] {
+  sweep("Sage BFS", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)Bfs(g, 0); });
+  sweep("GBBS BFS (libvmmalloc)", nvram::AllocPolicy::kAllNvram, [&] {
     EdgeMapOptions o;
     o.sparse_variant = SparseVariant::kBlocked;
     (void)Bfs(g, 0, o);
   });
-  run("Sage Triangle-Count", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)TriangleCount(g); });
-  run("GBBS Triangle-Count (mutating)", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)baselines::GbbsTriangleCount(g); });
-  run("Sage Maximal-Matching", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)MaximalMatching(g, 1); });
-  run("GBBS Maximal-Matching (mutating)", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)baselines::GbbsMaximalMatching(g, 1); });
-  run("Sage PageRank-Iter", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)PageRankIteration(g); });
-  run("GBBS PageRank-Iter (libvmmalloc)", nvram::AllocPolicy::kAllNvram,
-      [&] { (void)PageRankIteration(g); });
-  run("Sage Connectivity", nvram::AllocPolicy::kGraphNvram,
-      [&] { (void)Connectivity(g); });
-  run("GBBS Connectivity (libvmmalloc)", nvram::AllocPolicy::kAllNvram,
-      [&] { (void)Connectivity(g); });
+  sweep("Sage Triangle-Count", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)TriangleCount(g); });
+  sweep("GBBS Triangle-Count (mutating)", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)baselines::GbbsTriangleCount(g); });
+  sweep("Sage Maximal-Matching", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)MaximalMatching(g, 1); });
+  sweep("GBBS Maximal-Matching (mutating)", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)baselines::GbbsMaximalMatching(g, 1); });
+  sweep("Sage PageRank-Iter", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)PageRankIteration(g); });
+  sweep("GBBS PageRank-Iter (libvmmalloc)", nvram::AllocPolicy::kAllNvram,
+        [&] { (void)PageRankIteration(g); });
+  sweep("Sage Connectivity", nvram::AllocPolicy::kGraphNvram,
+        [&] { (void)Connectivity(g); });
+  sweep("GBBS Connectivity (libvmmalloc)", nvram::AllocPolicy::kAllNvram,
+        [&] { (void)Connectivity(g); });
 
-  cm.SetConfig(nvram::EmulationConfig{});
-  cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
-  std::printf("\nReading the table: Sage rows are flat across omega "
-              "(work independent of write asymmetry, Table 1's 'Sage "
-              "Work'); GBBS rows grow with omega ('GBBS Work' = "
-              "Theta(omega * W)).\n");
-  return 0;
+  cm.SetConfig(prev_config);
+  cm.SetAllocPolicy(prev_policy);
+  ctx.Note("Reading the table: Sage rows are flat across omega (work "
+           "independent of write asymmetry, Table 1's 'Sage Work'); GBBS "
+           "rows grow with omega ('GBBS Work' = Theta(omega * W)).");
 }
+
+}  // namespace sage::bench

@@ -8,13 +8,16 @@
 #include "baselines/grid_engine.h"
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-int main() {
+SAGE_BENCHMARK(table3_semi_external,
+               "Table 3: Sage vs a GridGraph-like semi-external streaming "
+               "engine") {
   auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
   const Graph& g = in.graph;
   auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
   baselines::GridEngine grid(g, 16);
@@ -38,19 +41,21 @@ int main() {
        [&] { (void)grid.PageRankIteration(ranks, deg); }},
   };
 
-  std::printf("== Table 3: Sage vs GridGraph-like semi-external engine "
-              "(model seconds) ==\n\n");
-  std::printf("%-18s %14s %14s %10s\n", "problem", "Sage", "GridEngine",
-              "speedup");
   for (auto& row : rows) {
-    auto sage_m = Measure(row.problem, SageNvram(), row.sage_run);
-    auto grid_m = Measure(row.problem, SageNvram(), row.grid_run);
-    std::printf("%-18s %13.4fs %13.4fs %9.1fx\n", row.problem,
-                sage_m.device_seconds, grid_m.device_seconds,
-                grid_m.device_seconds / sage_m.device_seconds);
+    BenchRecord sage_r = Measure(ctx, row.problem, SageNvram(), row.sage_run);
+    BenchRecord grid_r = ctx.MeasureFn(row.problem, row.grid_run);
+    grid_r.config = {{"system", "GridEngine"},
+                     {"policy", nvram::AllocPolicyName(
+                                    nvram::AllocPolicy::kGraphNvram)}};
+    ctx.NoteF("%s: GridEngine / Sage device time = %.1fx", row.problem,
+              grid_r.device_seconds / sage_r.device_seconds);
+    ctx.Report(std::move(sage_r));
+    ctx.Report(std::move(grid_r));
   }
-  std::printf("\npaper: Sage 9.3x faster than FlashGraph, 12x than Mosaic, "
-              "and up to ~15690x (BFS) / 359x (CC) than GridGraph on "
-              "Twitter-scale inputs.\n");
-  return 0;
+  cm.SetAllocPolicy(prev);
+  ctx.Note("paper: Sage 9.3x faster than FlashGraph, 12x than Mosaic, and "
+           "up to ~15690x (BFS) / 359x (CC) than GridGraph on "
+           "Twitter-scale inputs.");
 }
+
+}  // namespace sage::bench

@@ -4,37 +4,43 @@
 // because whole compressed blocks must be decoded per active edge.
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-int main() {
+SAGE_BENCHMARK(table4_tc_blocksize,
+               "Table 4: graph-filter block size vs triangle-counting "
+               "decode work") {
   // Denser than the default input: the block-size tradeoff needs vertices
   // with multiple compression blocks (ClueWeb's average degree is 76).
-  Graph g = RmatGraph(BenchLogN() - 3, BenchEdges(), 3);
+  const int log_n = BenchLogN() - 3;
+  Graph g = RmatGraph(log_n, BenchEdges(), 3);
+  ctx.SetScale(GraphScale{log_n, BenchEdges(), g.num_vertices(),
+                          g.num_edges()});
+  // Every reported metric of a cell (decode counts, counters) is
+  // deterministic per run, so one un-warmed run per block size suffices —
+  // same rationale as table1's sweep.
+  ctx.SetProtocol(/*repetitions=*/1, /*warmup=*/0);
   auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
-  std::printf("== Table 4: filter block size vs triangle counting work "
-              "(compressed graph, n=%u, m=%llu) ==\n\n",
-              g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
-  std::printf("%10s %18s %16s %16s %12s\n", "block", "intersect-work",
-              "edges-decoded", "blocks-decoded", "time(s)");
   for (uint32_t fb : {64u, 128u, 256u}) {
     CompressedGraph cg = CompressedGraph::FromGraph(g, fb);
-    cm.ResetCounters();
-    Timer t;
-    auto result = TriangleCount(cg);
-    (void)t;
-    double secs = cm.EmulatedNanos(cm.Totals(), num_workers()) / 1e9;
-    std::printf("%10u %18llu %16llu %16llu %11.3fs   (triangles=%llu)\n", fb,
-                static_cast<unsigned long long>(result.intersection_work),
-                static_cast<unsigned long long>(result.edges_decoded),
-                static_cast<unsigned long long>(result.blocks_decoded),
-                secs, static_cast<unsigned long long>(result.triangles));
+    TriangleCountResult result;
+    BenchRecord r = ctx.MeasureFn("F_B=" + std::to_string(fb),
+                                  [&] { result = TriangleCount(cg); });
+    r.config = {{"block_size", std::to_string(fb)}};
+    r.AddMetric("intersection_work",
+                static_cast<double>(result.intersection_work));
+    r.AddMetric("edges_decoded", static_cast<double>(result.edges_decoded));
+    r.AddMetric("blocks_decoded",
+                static_cast<double>(result.blocks_decoded));
+    r.AddMetric("triangles", static_cast<double>(result.triangles));
+    ctx.Report(std::move(r));
   }
-  std::printf("\npaper (ClueWeb): intersection work constant (2.24e10); "
-              "total decode work grows 7.16e10 -> 9.54e10 -> 12.8e10 and "
-              "time 489s -> 567s -> 683s as F_B goes 64 -> 128 -> 256.\n");
-  return 0;
+  cm.SetAllocPolicy(prev);
+  ctx.Note("paper (ClueWeb): intersection work constant (2.24e10); total "
+           "decode work grows 7.16e10 -> 9.54e10 -> 12.8e10 and time 489s "
+           "-> 567s -> 683s as F_B goes 64 -> 128 -> 256.");
 }
+
+}  // namespace sage::bench

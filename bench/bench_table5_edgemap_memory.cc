@@ -6,67 +6,51 @@
 // of a sparse-only full-frontier step.
 #include "bench_common.h"
 
-using namespace sage;
-using namespace sage::bench;
+namespace sage::bench {
 
-namespace {
-
-struct Run {
-  double seconds;
-  uint64_t peak_bytes;
-};
-
-Run BfsWithVariant(const Graph& g, SparseVariant variant,
-                   TraversalMode mode) {
-  ChunkPool::DrainAll();
-  auto& mt = nvram::MemoryTracker::Get();
-  mt.ResetPeak();
-  uint64_t before = mt.CurrentBytes();
-  EdgeMapOptions opts;
-  opts.sparse_variant = variant;
-  opts.mode = mode;
-  Timer t;
-  (void)Bfs(g, 0, opts);
-  return {t.Seconds(), mt.PeakBytes() - before};
-}
-
-}  // namespace
-
-int main() {
+SAGE_BENCHMARK(table5_edgemap_memory,
+               "Table 5: BFS traversal engine vs peak intermediate DRAM") {
   auto in = MakeBenchInput();
+  ctx.SetScale(ScaleOf(in.graph));
   const Graph& g = in.graph;
   auto& cm = nvram::CostModel::Get();
+  const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
-  std::printf("== Table 5: BFS traversal engine vs intermediate DRAM "
-              "(n=%u, m=%llu) ==\n\n",
-              g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
-  std::printf("%-18s %16s %10s\n", "engine", "peak DRAM", "time");
   struct Case {
     const char* name;
     SparseVariant variant;
   };
-  for (auto c : {Case{"edgeMapSparse", SparseVariant::kSparse},
-                 Case{"edgeMapBlocked", SparseVariant::kBlocked},
-                 Case{"edgeMapChunked", SparseVariant::kChunked}}) {
-    auto r = BfsWithVariant(g, c.variant, TraversalMode::kAuto);
-    std::printf("%-18s %13.2f MB %8.3fs\n", c.name, r.peak_bytes / 1e6,
-                r.seconds);
+  struct Mode {
+    const char* name;
+    TraversalMode mode;
+  };
+  // Single un-warmed runs with the chunk pools drained *before* MeasureFn
+  // captures its MemoryTracker baseline: a warmup (or a previous variant's
+  // pooled chunks) would raise the baseline and subtract this variant's
+  // chunk allocations out of the very peak this benchmark reports.
+  ctx.SetProtocol(/*repetitions=*/1, /*warmup=*/0);
+  for (const Mode& mode : {Mode{"auto", TraversalMode::kAuto},
+                           Mode{"sparse-only", TraversalMode::kSparseOnly}}) {
+    for (const Case& c : {Case{"edgeMapSparse", SparseVariant::kSparse},
+                          Case{"edgeMapBlocked", SparseVariant::kBlocked},
+                          Case{"edgeMapChunked", SparseVariant::kChunked}}) {
+      ChunkPool::DrainAll();
+      BenchRecord r = ctx.MeasureFn(c.name, [&] {
+        EdgeMapOptions opts;
+        opts.sparse_variant = c.variant;
+        opts.mode = mode.mode;
+        (void)Bfs(g, 0, opts);
+      });
+      r.config = {{"engine", c.name}, {"mode", mode.name}};
+      r.AddMetric("peak_dram_mb", r.peak_intermediate_bytes / 1e6);
+      ctx.Report(std::move(r));
+    }
   }
-  std::printf("\n-- sparse-only BFS (no direction optimization; the paper's "
-              "'sparse-only' experiment where edgeMapSparse/Blocked exceed "
-              "DRAM) --\n");
-  for (auto c : {Case{"edgeMapSparse", SparseVariant::kSparse},
-                 Case{"edgeMapBlocked", SparseVariant::kBlocked},
-                 Case{"edgeMapChunked", SparseVariant::kChunked}}) {
-    auto r = BfsWithVariant(g, c.variant, TraversalMode::kSparseOnly);
-    std::printf("%-18s %13.2f MB %8.3fs\n", c.name, r.peak_bytes / 1e6,
-                r.seconds);
-  }
-  std::printf("\npaper (Hyperlink2012 BFS): 115 GB / 90.3 GB / 87.5 GB "
-              "total DRAM (1.31x saving sparse->chunked); sparse-only BFS "
-              "segfaults (492 GB alloc) except with edgeMapChunked "
-              "(120 GB peak).\n");
-  return 0;
+  cm.SetAllocPolicy(prev);
+  ctx.Note("paper (Hyperlink2012 BFS): 115 GB / 90.3 GB / 87.5 GB total "
+           "DRAM (1.31x saving sparse->chunked); sparse-only BFS segfaults "
+           "(492 GB alloc) except with edgeMapChunked (120 GB peak).");
 }
+
+}  // namespace sage::bench

@@ -1,0 +1,335 @@
+// Benchmark harness: registration, measurement protocol, and JSON perf
+// records for the paper's table/figure experiments.
+//
+// Mirrors api/AlgorithmRegistry: each experiment registers a name, a
+// one-line description, and a body with SAGE_BENCHMARK, and the single
+// `sage_bench` driver runs any subset of them (-list, -filter, -json,
+// -repetitions). A benchmark's body receives a BenchContext, measures
+// through it (warmup + N repetitions, PSAM counter and peak-DRAM capture
+// via the Engine/RunReport facade), and Report()s BenchRecords. The
+// driver renders the records twice: the human-readable table (the old
+// per-binary output, now a formatter over records) and, with -json, the
+// machine-readable file that scripts/check_perf.py diffs against
+// bench/baselines/smoke.json in CI.
+//
+// ## JSON schema (version 1)
+//
+// One file per sage_bench invocation:
+//
+//   {
+//     "schema_version": 1,              // bump on incompatible changes
+//     "generator": "sage_bench",
+//     "git_sha": "<sha|unknown>",       // -sha flag (run_bench.sh passes it)
+//     "threads": 8,                     // scheduler workers at startup
+//     "scale": {"log_n": 15, "edges": 400000},   // requested generator scale
+//     "repetitions": 3,                 // default timed reps per measurement
+//     "warmup": 1,                      // default unmeasured warmup runs
+//     "records": [ <record>, ... ]
+//   }
+//
+// Each record is one measured row of one benchmark:
+//
+//   {
+//     "benchmark": "fig1_nvram_systems",      // registered benchmark name
+//     "label": "BFS",                         // row id, unique per config
+//     "config": {"system": "Sage-NVRAM", "policy": "graph-nvram", ...},
+//     "graph": {"log_n": 15, "requested_edges": 400000,
+//               "n": 32768, "m": 786024},     // actual generated graph
+//     "threads": 8,                           // workers the row ran on
+//     "repetitions": 3, "warmup": 1,          // protocol this row used
+//     "wall_seconds": {"count": 3, "min": ..., "max": ...,
+//                      "mean": ..., "median": ..., "stddev": ...},
+//     "device_seconds": ...,   // deterministic emulated device time
+//     "model_seconds": ...,    // roofline: max(wall min, device)
+//     "omega": 4.0,            // PSAM write asymmetry of the run
+//     "psam_cost": ...,        // counters.PsamCost(omega); with "counters"
+//     "counters": {"dram_reads": ..., "dram_writes": ..., "nvram_reads": ...,
+//                  "nvram_writes": ..., "remote_nvram_accesses": ...,
+//                  "memory_mode_hits": ..., "memory_mode_misses": ...},
+//     "peak_intermediate_bytes": ...,  // Table 5 metric (DRAM high-water)
+//     "metrics": {"speedup": 1.4}      // benchmark-specific extra scalars
+//   }
+//
+// "counters"/"psam_cost" are present only for measured rows
+// (BenchRecord::has_counters); corpus-statistics rows (fig2, table2) omit
+// them, and scripts/check_perf.py skips its counter gate for such rows.
+// Records are identified across runs by (benchmark, label, config,
+// threads, graph.n, graph.m) — include anything that changes a row's
+// meaning in `label` or `config`, never only in prose.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/registry.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "nvram/cost_model.h"
+
+namespace sage::bench {
+
+/// Schema version stamped into every JSON file; bump on incompatible
+/// changes and teach scripts/check_perf.py both versions for one release.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+/// Summary statistics over the timed repetitions of one measurement.
+struct BenchStats {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;  // midpoint average for even sample counts
+  double stddev = 0;  // population standard deviation
+  static BenchStats FromSamples(std::vector<double> samples);
+};
+
+// ---------------------------------------------------------------------------
+// Records
+
+/// The generator scale a record's graph came from, plus the actual size.
+struct GraphScale {
+  int log_n = 0;
+  uint64_t requested_edges = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+};
+
+/// One measured row of one benchmark; see the schema block above.
+struct BenchRecord {
+  std::string benchmark;
+  std::string label;
+  /// Configuration key/value pairs (system, policy, sparse variant, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+  GraphScale graph;
+  int threads = 0;
+  int repetitions = 0;
+  int warmup = 0;
+  BenchStats wall;
+  double device_seconds = 0;
+  double model_seconds = 0;
+  double omega = 0;
+  /// True when the row ran inside a counter frame; false for rows that
+  /// only report corpus statistics (no "counters" in the JSON).
+  bool has_counters = false;
+  nvram::CostTotals counters;
+  uint64_t peak_intermediate_bytes = 0;
+  /// Benchmark-specific extra scalars (speedups, decode counts, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void AddMetric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  void AddConfig(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// This record as a JSON object, each line prefixed with `indent`.
+  std::string ToJson(const std::string& indent = "") const;
+};
+
+/// File-level metadata for the consolidated JSON document.
+struct BenchRunMeta {
+  std::string git_sha = "unknown";
+  int threads = 0;
+  int log_n = 0;
+  uint64_t edges = 0;
+  int repetitions = 0;
+  int warmup = 0;
+};
+
+/// The full schema-version-1 document over `records`.
+std::string RecordsToJson(const BenchRunMeta& meta,
+                          const std::vector<BenchRecord>& records);
+
+// ---------------------------------------------------------------------------
+// Benchmark context
+
+/// Handed to each benchmark body: the measurement protocol (repetitions /
+/// warmup from the driver flags), the record sink, and human-readable
+/// notes printed after the record table.
+class BenchContext {
+ public:
+  BenchContext(std::string benchmark, int repetitions, int warmup)
+      : benchmark_(std::move(benchmark)),
+        repetitions_(repetitions),
+        warmup_(warmup) {}
+
+  const std::string& benchmark() const { return benchmark_; }
+  int repetitions() const { return repetitions_; }
+  int warmup() const { return warmup_; }
+
+  /// Shrinks the protocol for rows whose metric is deterministic (counter
+  /// shapes, corpus statistics) so sweeps don't multiply runtime; records
+  /// carry the protocol they actually used.
+  void SetProtocol(int repetitions, int warmup) {
+    repetitions_ = repetitions < 1 ? 1 : repetitions;
+    warmup_ = warmup < 0 ? 0 : warmup;
+  }
+
+  /// Default graph scale stamped onto records created by NewRecord.
+  void SetScale(const GraphScale& scale) { scale_ = scale; }
+  const GraphScale& scale() const { return scale_; }
+
+  /// A record pre-filled with the benchmark name, protocol, scale, current
+  /// worker count, and current omega.
+  BenchRecord NewRecord(std::string label) const;
+
+  /// Appends a finished record.
+  void Report(BenchRecord record);
+
+  /// Appends a human-readable line printed after the record table (paper
+  /// comparisons, computed ratios). Never part of the JSON.
+  void Note(std::string line) { notes_.push_back(std::move(line)); }
+
+  /// printf-style Note().
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 2, 3)))
+#endif
+  void NoteF(const char* fmt, ...);
+
+  /// Measures `fn`: `warmup()` unmeasured runs, then `repetitions()` timed
+  /// runs, each inside a fresh PSAM counter frame and MemoryTracker peak
+  /// window. Wall statistics aggregate over the timed runs; counters,
+  /// device time, and peak DRAM come from the last one (kernels charge
+  /// deterministically per run). The caller owns device state (policy,
+  /// layout, omega) around the call.
+  BenchRecord MeasureFn(std::string label, const std::function<void()>& fn);
+
+  /// Measures one registered algorithm through the engine facade with the
+  /// same protocol as MeasureFn; counters, device time, threads, and peak
+  /// DRAM come from the facade's RunReport. Dies on a failed run.
+  BenchRecord MeasureAlgorithm(std::string label, const std::string& algorithm,
+                               const Graph& g, const Graph& weighted,
+                               const RunContext& rctx,
+                               const RunParams& params = RunParams{});
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+ private:
+  std::string benchmark_;
+  int repetitions_;
+  int warmup_;
+  GraphScale scale_;
+  std::vector<BenchRecord> records_;
+  std::vector<std::string> notes_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// Static metadata a benchmark declares when registering.
+struct BenchmarkInfo {
+  /// Registry key, unique, matching the legacy binary name minus the
+  /// bench_ prefix (e.g. "fig1_nvram_systems").
+  std::string name;
+  /// One-line description for -list output.
+  std::string description;
+};
+
+class BenchmarkRegistry {
+ public:
+  using BenchFn = std::function<void(BenchContext&)>;
+
+  struct Entry {
+    BenchmarkInfo info;
+    BenchFn fn;
+  };
+
+  /// The process-wide registry (benchmarks self-register at static init).
+  static BenchmarkRegistry& Get();
+
+  /// Registers a benchmark. Fails on duplicate or empty names.
+  Status Register(BenchmarkInfo info, BenchFn fn);
+
+  /// Register() that dies on failure; returns true (for the macro's
+  /// static-initializer idiom).
+  bool RegisterOrDie(BenchmarkInfo info, BenchFn fn);
+
+  const Entry* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  BenchmarkRegistry() = default;
+  std::vector<Entry> entries_;
+};
+
+/// Defines and registers a benchmark body:
+///
+///   SAGE_BENCHMARK(fig1_nvram_systems, "Figure 1: ...") {
+///     auto in = MakeBenchInput();
+///     ctx.Report(ctx.MeasureFn("BFS", [&] { (void)Bfs(in.graph, 0); }));
+///   }
+///
+/// The body runs with `ctx` bound to the driver's BenchContext.
+#define SAGE_BENCHMARK(name, description)                                  \
+  static void SageBenchBody_##name(::sage::bench::BenchContext& ctx);      \
+  static const bool sage_bench_registered_##name [[maybe_unused]] =        \
+      ::sage::bench::BenchmarkRegistry::Get().RegisterOrDie(               \
+          {#name, description}, &SageBenchBody_##name);                    \
+  static void SageBenchBody_##name(::sage::bench::BenchContext& ctx)
+
+// ---------------------------------------------------------------------------
+// Driver
+
+/// The sage_bench entry point (wrapped by bench/sage_bench.cc): parses
+/// flags (-list, -filter, -json, -repetitions, -warmup, -threads, -logn,
+/// -edges, -sha), runs the selected benchmarks, prints the human-readable
+/// tables, and writes the consolidated JSON when asked. Returns the
+/// process exit code.
+int BenchMain(int argc, char** argv);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (for round-trip tests and record consumers)
+
+namespace json {
+
+/// A parsed JSON value. Objects preserve insertion order; numbers are
+/// doubles (sage_bench emits counters <= 2^53 at bench scale).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses `text` as one JSON document (trailing garbage is an error).
+  static Result<Value> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements, or object values in insertion order.
+  const std::vector<Value>& items() const { return items_; }
+  /// Object keys, parallel to items(); empty for non-objects.
+  const std::vector<std::string>& keys() const { return keys_; }
+  size_t size() const { return items_.size(); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  /// Find() that dies when the member is absent.
+  const Value& At(const std::string& key) const;
+
+ private:
+  friend struct ValueBuilder;  // parser-internal mutation (harness.cc)
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<std::string> keys_;  // object keys, parallel to items_
+  std::vector<Value> items_;       // array elements or object values
+};
+
+}  // namespace json
+
+}  // namespace sage::bench

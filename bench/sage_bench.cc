@@ -1,0 +1,9 @@
+// sage_bench: the unified benchmark driver. All benchmarks register
+// through SAGE_BENCHMARK (see harness.h); this translation unit only
+// hosts main so the registrations (and the harness) can also be linked
+// into tests.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  return sage::bench::BenchMain(argc, argv);
+}

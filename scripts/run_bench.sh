@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Produces a consolidated sage_bench perf record file: BENCH_<git-sha>.json.
+#
+# Usage: scripts/run_bench.sh [--smoke] [--baseline] [--out FILE]
+#                             [--build-dir DIR] [-- <extra sage_bench args>]
+#
+#   --smoke      run at smoke scale (-logn 10 -edges 20000 -threads 1):
+#                seconds of runtime, deterministic PSAM counters. This is
+#                what the CI perf-smoke lane runs.
+#   --baseline   refresh the committed smoke baseline: implies --smoke and
+#                writes bench/baselines/smoke.json instead of BENCH_<sha>.json.
+#   --out FILE   override the output path.
+#   --build-dir  build tree holding bench/sage_bench (default: build; the
+#                script configures+builds Release there if it is missing).
+#
+# Everything after `--` is passed to sage_bench verbatim (e.g. -filter fig1
+# or -repetitions 9).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SMOKE=0
+BASELINE=0
+OUT=""
+EXTRA=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --baseline) SMOKE=1; BASELINE=1 ;;
+    --out) OUT="${2:?run_bench.sh: --out requires a value}"; shift ;;
+    --build-dir) BUILD_DIR="${2:?run_bench.sh: --build-dir requires a value}"; shift ;;
+    --) shift; EXTRA=("$@"); break ;;
+    *) echo "run_bench.sh: unknown argument '$1' (see header comment)" >&2
+       exit 2 ;;
+  esac
+  shift
+done
+
+BENCH="$BUILD_DIR/bench/sage_bench"
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+# Wall-clock records from a non-Release tree are not comparable to the
+# Release CI lane; never let one become the committed baseline.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  if [[ "$BASELINE" == 1 ]]; then
+    echo "run_bench.sh: refusing to refresh the baseline from a" \
+         "'$BUILD_TYPE' build tree ($BUILD_DIR); use a Release tree" >&2
+    exit 2
+  fi
+  echo "run_bench.sh: warning: $BUILD_DIR is a '$BUILD_TYPE' build;" \
+       "wall-clock records will not be comparable to Release runs" >&2
+fi
+# Always (re)build: an incremental no-op when up to date, and it keeps the
+# baseline-refresh workflow from measuring a stale binary.
+cmake --build "$BUILD_DIR" --target sage_bench -j "$(nproc)"
+
+SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ -z "$OUT" ]]; then
+  if [[ "$BASELINE" == 1 ]]; then
+    OUT="bench/baselines/smoke.json"
+  else
+    OUT="BENCH_${SHA}.json"
+  fi
+fi
+
+ARGS=(-sha "$SHA" -json "$OUT")
+if [[ "$SMOKE" == 1 ]]; then
+  # Smoke protocol: tiny graph, one worker. Counters are deterministic at
+  # one thread, which is what lets check_perf.py gate on them; fig6 still
+  # sweeps its own widths internally, so those rows vary per machine and
+  # check_perf treats width mismatches as warnings, not failures.
+  ARGS+=(-logn 10 -edges 20000 -threads 1 -repetitions 3)
+fi
+
+"$BENCH" "${ARGS[@]}" ${EXTRA[@]+"${EXTRA[@]}"}
+echo "run_bench.sh: wrote $OUT"

@@ -2,78 +2,28 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace sage {
 
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string JsonDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string JsonU64(uint64_t v) {
-  return std::to_string(v);
-}
-
-}  // namespace
-
 std::string RunReport::ToJson() const {
+  using jsonw::Double;
+  using jsonw::Str;
+  using jsonw::U64;
   std::string j = "{\n";
-  j += "  \"algorithm\": \"" + JsonEscape(algorithm) + "\",\n";
-  j += "  \"summary\": \"" + JsonEscape(summary) + "\",\n";
-  j += "  \"wall_seconds\": " + JsonDouble(wall_seconds) + ",\n";
-  j += "  \"device_seconds\": " + JsonDouble(device_seconds) + ",\n";
+  j += "  \"algorithm\": " + Str(algorithm) + ",\n";
+  j += "  \"summary\": " + Str(summary) + ",\n";
+  j += "  \"wall_seconds\": " + Double(wall_seconds) + ",\n";
+  j += "  \"device_seconds\": " + Double(device_seconds) + ",\n";
   j += "  \"threads\": " + std::to_string(threads) + ",\n";
-  j += "  \"policy\": \"" + std::string(nvram::AllocPolicyName(policy)) +
-       "\",\n";
-  j += "  \"graph_source\": \"" +
-       std::string(graph_mapped ? "mapped-nvram" : "memory") + "\",\n";
-  j += "  \"omega\": " + JsonDouble(omega) + ",\n";
-  j += "  \"psam_cost\": " + JsonDouble(PsamCost()) + ",\n";
-  j += "  \"peak_intermediate_bytes\": " + JsonU64(peak_intermediate_bytes) +
+  j += "  \"policy\": " + Str(nvram::AllocPolicyName(policy)) + ",\n";
+  j += "  \"graph_source\": " +
+       Str(graph_mapped ? "mapped-nvram" : "memory") + ",\n";
+  j += "  \"omega\": " + Double(omega) + ",\n";
+  j += "  \"psam_cost\": " + Double(PsamCost()) + ",\n";
+  j += "  \"peak_intermediate_bytes\": " + U64(peak_intermediate_bytes) +
        ",\n";
-  j += "  \"counters\": {\n";
-  j += "    \"dram_reads\": " + JsonU64(cost.dram_reads) + ",\n";
-  j += "    \"dram_writes\": " + JsonU64(cost.dram_writes) + ",\n";
-  j += "    \"nvram_reads\": " + JsonU64(cost.nvram_reads) + ",\n";
-  j += "    \"nvram_writes\": " + JsonU64(cost.nvram_writes) + ",\n";
-  j += "    \"remote_nvram_accesses\": " + JsonU64(cost.remote_nvram_accesses) +
-       ",\n";
-  j += "    \"memory_mode_hits\": " + JsonU64(cost.memory_mode_hits) + ",\n";
-  j += "    \"memory_mode_misses\": " + JsonU64(cost.memory_mode_misses) +
-       "\n";
-  j += "  }\n";
+  j += "  \"counters\": " + cost.ToJson() + "\n";
   j += "}";
   return j;
 }

@@ -1,0 +1,67 @@
+// Minimal JSON-writing helpers shared by RunReport::ToJson (src/api) and
+// the bench harness's record serializer (bench/harness.cc), so the two
+// emitters cannot drift on escaping or number formatting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sage::jsonw {
+
+/// Escapes a string's contents for embedding inside JSON quotes.
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A quoted, escaped JSON string. (Built by append, not `"..." + Escape(s)
+/// + "..."`: GCC 12's -Wrestrict false-positives on that operator+ chain
+/// at -O2, and src/ builds with -Werror.)
+inline std::string Str(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += Escape(s);
+  out += '"';
+  return out;
+}
+
+/// A JSON number. JSON has no inf/nan literals, so non-finite values
+/// serialize as 0 rather than producing an unparsable document.
+inline std::string Double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string U64(uint64_t v) { return std::to_string(v); }
+
+}  // namespace sage::jsonw

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/json.h"
+
 namespace sage::nvram {
 
 const char* AllocPolicyName(AllocPolicy policy) {
@@ -34,6 +36,19 @@ std::string CostTotals::ToString() const {
                 static_cast<unsigned long long>(memory_mode_hits),
                 static_cast<unsigned long long>(memory_mode_misses));
   return buf;
+}
+
+std::string CostTotals::ToJson() const {
+  std::string j = "{";
+  j += "\"dram_reads\": " + jsonw::U64(dram_reads);
+  j += ", \"dram_writes\": " + jsonw::U64(dram_writes);
+  j += ", \"nvram_reads\": " + jsonw::U64(nvram_reads);
+  j += ", \"nvram_writes\": " + jsonw::U64(nvram_writes);
+  j += ", \"remote_nvram_accesses\": " + jsonw::U64(remote_nvram_accesses);
+  j += ", \"memory_mode_hits\": " + jsonw::U64(memory_mode_hits);
+  j += ", \"memory_mode_misses\": " + jsonw::U64(memory_mode_misses);
+  j += "}";
+  return j;
 }
 
 namespace {

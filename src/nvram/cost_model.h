@@ -148,6 +148,11 @@ struct CostTotals {
   }
 
   std::string ToString() const;
+
+  /// The counters as a one-line JSON object (the "counters" sub-object of
+  /// RunReport::ToJson and of every sage_bench record). Defined here so
+  /// growing CostTotals cannot silently desynchronize the two emitters.
+  std::string ToJson() const;
 };
 
 /// Process-wide cost model with per-worker sharded counters.

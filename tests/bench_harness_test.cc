@@ -1,0 +1,294 @@
+// Tests for the sage_bench harness (bench/harness.h): statistics, the
+// versioned JSON record schema and its round-trip through the bundled
+// parser, the benchmark registry (every legacy bench_* binary must be
+// present as a registered benchmark), and the BenchContext measurement
+// protocol. scripts/check_perf.py's pass/fail behavior is covered by its
+// --self-test, registered with CTest from tests/CMakeLists.txt.
+#include "harness.h"
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "gtest/gtest.h"
+
+namespace sage::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+TEST(BenchStats, KnownSamplesOddCount) {
+  BenchStats s = BenchStats::FromSamples({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(BenchStats, KnownSamplesEvenCountMedianIsMidpoint) {
+  BenchStats s = BenchStats::FromSamples({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 4.0), 1e-12);
+}
+
+TEST(BenchStats, SingleSample) {
+  BenchStats s = BenchStats::FromSamples({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(BenchStats, EmptySamples) {
+  BenchStats s = BenchStats::FromSamples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(BenchStats, ConstantSamplesHaveZeroStddev) {
+  BenchStats s = BenchStats::FromSamples({2.5, 2.5, 2.5, 2.5});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+
+TEST(BenchJson, ParsesScalarsAndContainers) {
+  auto parsed = json::Value::Parse(
+      R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": true, "e": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& v = parsed.ValueOrDie();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.At("a").AsNumber(), 1.5);
+  EXPECT_EQ(v.At("b").AsString(), "x\ny");
+  ASSERT_TRUE(v.At("c").is_array());
+  EXPECT_EQ(v.At("c").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.At("c").items()[2].AsNumber(), 3.0);
+  EXPECT_TRUE(v.At("d").AsBool());
+  EXPECT_EQ(v.At("e").kind(), json::Value::Kind::kNull);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(BenchJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::Value::Parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(json::Value::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(json::Value::Parse("[1, 2").ok());
+  EXPECT_FALSE(json::Value::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Value::Parse("troo").ok());
+  EXPECT_FALSE(json::Value::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Value::Parse("").ok());
+}
+
+TEST(BenchJson, DecodesUnicodeEscapes) {
+  auto parsed = json::Value::Parse(R"(["Aé"])");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().items()[0].AsString(), "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------------
+// Record schema + round-trip
+
+BenchRecord MakeRecord() {
+  BenchRecord r;
+  r.benchmark = "unit_test";
+  r.label = "row \"quoted\"\nline2";
+  r.config = {{"system", "Sage-NVRAM"}, {"policy", "graph-nvram"}};
+  r.graph = GraphScale{10, 20000, 1024, 27970};
+  r.threads = 4;
+  r.repetitions = 3;
+  r.warmup = 1;
+  r.wall = BenchStats::FromSamples({0.25, 0.1, 0.4});
+  r.device_seconds = 0.5;
+  r.model_seconds = 0.5;
+  r.omega = 4.0;
+  r.has_counters = true;
+  r.counters.nvram_reads = 123456;
+  r.counters.nvram_writes = 7;
+  r.counters.dram_reads = 1000;
+  r.counters.dram_writes = 2000;
+  r.peak_intermediate_bytes = 4096;
+  r.AddMetric("speedup", 1.75);
+  return r;
+}
+
+TEST(BenchRecordJson, SchemaShapeAndRoundTrip) {
+  BenchRecord r = MakeRecord();
+  auto parsed = json::Value::Parse(r.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& v = parsed.ValueOrDie();
+
+  // Every schema-v1 record field is present with the right type.
+  EXPECT_EQ(v.At("benchmark").AsString(), "unit_test");
+  EXPECT_EQ(v.At("label").AsString(), "row \"quoted\"\nline2");
+  ASSERT_TRUE(v.At("config").is_object());
+  EXPECT_EQ(v.At("config").At("system").AsString(), "Sage-NVRAM");
+  EXPECT_DOUBLE_EQ(v.At("graph").At("log_n").AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(v.At("graph").At("requested_edges").AsNumber(), 20000.0);
+  EXPECT_DOUBLE_EQ(v.At("graph").At("n").AsNumber(), 1024.0);
+  EXPECT_DOUBLE_EQ(v.At("graph").At("m").AsNumber(), 27970.0);
+  EXPECT_DOUBLE_EQ(v.At("threads").AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(v.At("repetitions").AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(v.At("warmup").AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(v.At("wall_seconds").At("count").AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(v.At("wall_seconds").At("min").AsNumber(), 0.1);
+  EXPECT_DOUBLE_EQ(v.At("wall_seconds").At("median").AsNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(v.At("device_seconds").AsNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(v.At("model_seconds").AsNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(v.At("omega").AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(v.At("psam_cost").AsNumber(),
+                   r.counters.PsamCost(r.omega));
+  EXPECT_DOUBLE_EQ(v.At("counters").At("nvram_reads").AsNumber(), 123456.0);
+  EXPECT_DOUBLE_EQ(v.At("counters").At("nvram_writes").AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(v.At("peak_intermediate_bytes").AsNumber(), 4096.0);
+  EXPECT_DOUBLE_EQ(v.At("metrics").At("speedup").AsNumber(), 1.75);
+}
+
+TEST(BenchRecordJson, CountersOmittedForStatisticsOnlyRows) {
+  BenchRecord r = MakeRecord();
+  r.has_counters = false;
+  auto parsed = json::Value::Parse(r.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Find("counters"), nullptr);
+  EXPECT_EQ(parsed.ValueOrDie().Find("psam_cost"), nullptr);
+}
+
+TEST(BenchRecordJson, DocumentRoundTrip) {
+  BenchRunMeta meta;
+  meta.git_sha = "abc1234";
+  meta.threads = 2;
+  meta.log_n = 10;
+  meta.edges = 20000;
+  meta.repetitions = 3;
+  meta.warmup = 1;
+  BenchRecord a = MakeRecord();
+  BenchRecord b = MakeRecord();
+  b.label = "second";
+  auto parsed = json::Value::Parse(RecordsToJson(meta, {a, b}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& v = parsed.ValueOrDie();
+  EXPECT_DOUBLE_EQ(v.At("schema_version").AsNumber(), kBenchSchemaVersion);
+  EXPECT_EQ(v.At("generator").AsString(), "sage_bench");
+  EXPECT_EQ(v.At("git_sha").AsString(), "abc1234");
+  EXPECT_DOUBLE_EQ(v.At("scale").At("log_n").AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(v.At("scale").At("edges").AsNumber(), 20000.0);
+  ASSERT_TRUE(v.At("records").is_array());
+  ASSERT_EQ(v.At("records").size(), 2u);
+  EXPECT_EQ(v.At("records").items()[1].At("label").AsString(), "second");
+}
+
+TEST(BenchRecordJson, EmptyDocumentIsValid) {
+  auto parsed = json::Value::Parse(RecordsToJson(BenchRunMeta{}, {}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().At("records").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(BenchmarkRegistry, AllLegacyBenchmarksRegistered) {
+  // One registered benchmark per pre-harness bench_* binary. Growing the
+  // suite is fine; silently losing a migrated benchmark is not.
+  const char* kLegacy[] = {
+      "fig1_nvram_systems",  "fig2_degree_ratio",   "fig6_scalability",
+      "fig7_dram_vs_nvram",  "load_binary",         "numa_layout",
+      "table1_work_omega",   "table2_graphs",       "table3_semi_external",
+      "table4_tc_blocksize", "table5_edgemap_memory"};
+  auto& registry = BenchmarkRegistry::Get();
+  EXPECT_GE(registry.size(), 11u);
+  for (const char* name : kLegacy) {
+    const auto* entry = registry.Find(name);
+    ASSERT_NE(entry, nullptr) << "missing benchmark: " << name;
+    EXPECT_FALSE(entry->info.description.empty()) << name;
+    EXPECT_NE(entry->fn, nullptr) << name;
+  }
+}
+
+TEST(BenchmarkRegistry, RejectsDuplicateAndInvalidRegistrations) {
+  auto& registry = BenchmarkRegistry::Get();
+  Status dup = registry.Register({"fig1_nvram_systems", "dup"},
+                                 [](BenchContext&) {});
+  EXPECT_FALSE(dup.ok());
+  Status unnamed = registry.Register({"", "anonymous"}, [](BenchContext&) {});
+  EXPECT_FALSE(unnamed.ok());
+  Status bodyless = registry.Register({"no_body_bench", "x"}, nullptr);
+  EXPECT_FALSE(bodyless.ok());
+  EXPECT_EQ(registry.Find("no_body_bench"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// BenchContext measurement protocol
+
+TEST(BenchContext, MeasureFnRunsWarmupPlusRepetitionsAndFramesCounters) {
+  BenchContext ctx("unit_test", /*repetitions=*/3, /*warmup=*/2);
+  int calls = 0;
+  BenchRecord r = ctx.MeasureFn("row", [&] {
+    ++calls;
+    nvram::CostModel::Get().ChargeWorkRead(10);
+  });
+  EXPECT_EQ(calls, 5);  // 2 warmup + 3 timed
+  EXPECT_EQ(r.wall.count, 3u);
+  EXPECT_TRUE(r.has_counters);
+  // The counter frame holds exactly one repetition's charges, not the
+  // whole warmup+rep history.
+  EXPECT_EQ(r.counters.dram_reads + r.counters.nvram_reads, 10u);
+  EXPECT_GE(r.model_seconds, r.device_seconds);
+  EXPECT_GE(r.model_seconds, r.wall.min);
+}
+
+TEST(BenchContext, NewRecordPrefillsScaleAndProtocol) {
+  BenchContext ctx("unit_test", 4, 1);
+  ctx.SetScale(GraphScale{12, 5000, 4096, 9876});
+  BenchRecord r = ctx.NewRecord("row");
+  EXPECT_EQ(r.benchmark, "unit_test");
+  EXPECT_EQ(r.label, "row");
+  EXPECT_EQ(r.graph.n, 4096u);
+  EXPECT_EQ(r.graph.m, 9876u);
+  EXPECT_EQ(r.repetitions, 4);
+  EXPECT_EQ(r.warmup, 1);
+  EXPECT_EQ(r.threads, num_workers());
+}
+
+TEST(BenchContext, SetProtocolClampsAndSticks) {
+  BenchContext ctx("unit_test", 3, 1);
+  ctx.SetProtocol(/*repetitions=*/0, /*warmup=*/-2);
+  EXPECT_EQ(ctx.repetitions(), 1);
+  EXPECT_EQ(ctx.warmup(), 0);
+  int calls = 0;
+  (void)ctx.MeasureFn("row", [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BenchContext, ReportAccumulatesInOrder) {
+  BenchContext ctx("unit_test", 1, 0);
+  ctx.Report(ctx.NewRecord("first"));
+  ctx.Report(ctx.NewRecord("second"));
+  ctx.Note("a note");
+  ASSERT_EQ(ctx.records().size(), 2u);
+  EXPECT_EQ(ctx.records()[0].label, "first");
+  EXPECT_EQ(ctx.records()[1].label, "second");
+  ASSERT_EQ(ctx.notes().size(), 1u);
+  EXPECT_EQ(ctx.notes()[0], "a note");
+}
+
+TEST(BenchContext, MeasureAlgorithmUsesEngineFacade) {
+  Graph g = RmatGraph(8, 2000, /*seed=*/1);
+  Graph gw = AddRandomWeights(g, 2);
+  BenchContext ctx("unit_test", 2, 1);
+  RunContext rctx;
+  BenchRecord r = ctx.MeasureAlgorithm("BFS", "bfs", g, gw, rctx);
+  EXPECT_EQ(r.wall.count, 2u);
+  EXPECT_TRUE(r.has_counters);
+  EXPECT_GT(r.counters.nvram_reads, 0u);   // graph reads charge as NVRAM
+  EXPECT_EQ(r.counters.nvram_writes, 0u);  // Sage never writes NVRAM
+  EXPECT_GT(r.device_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.omega, rctx.omega);
+}
+
+}  // namespace
+}  // namespace sage::bench
