@@ -161,7 +161,7 @@ inline std::vector<std::pair<std::string, std::string>> ConfigPairs(
 /// All-DRAM runs are compute-bound (model == wall); write-heavy NVRAM
 /// configurations become device-bound and pay omega.
 inline double ModelSeconds(double wall, const nvram::CostTotals& t) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   double device = cm.EmulatedNanos(t, num_workers()) / 1e9;
   return wall > device ? wall : device;
 }
@@ -183,7 +183,7 @@ inline RunContext ContextFor(const SystemConfig& config) {
 template <typename Fn>
 BenchRecord Measure(BenchContext& ctx, const std::string& label,
                     const SystemConfig& config, const Fn& fn) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(config.policy);
   BenchRecord r = ctx.MeasureFn(label, fn);

@@ -15,7 +15,7 @@ SAGE_BENCHMARK(fig1_nvram_systems,
   // Figure 1's regime: the graph does NOT fit in DRAM. The paper's machine
   // has 8x more NVRAM than DRAM; size the MemoryMode cache to 1/8 of the
   // graph so Memory Mode systems pay the miss traffic they pay at scale.
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::EmulationConfig prev = cm.config();
   {
     auto cfg = prev;

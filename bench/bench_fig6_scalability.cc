@@ -19,7 +19,7 @@ SAGE_BENCHMARK(fig6_scalability,
   ctx.SetScale(ScaleOf(in.graph));
   const Graph& g = in.graph;
   const Graph& gw = in.weighted;
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::AllocPolicy prev = cm.alloc_policy();
   const int entry_workers = num_workers();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);

@@ -17,7 +17,7 @@ namespace {
 /// real machine, so the record's emulated device time is what the paper's
 /// wall clock measured.
 void RunScan(const Graph& g) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   auto counts = tabulate<uint64_t>(g.num_vertices(), [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     uint64_t c = 0;
@@ -36,7 +36,7 @@ SAGE_BENCHMARK(numa_layout,
                "replicated) vs scan device time") {
   auto in = MakeBenchInput();
   ctx.SetScale(ScaleOf(in.graph));
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::AllocPolicy prev_policy = cm.alloc_policy();
   const nvram::GraphLayout prev_layout = cm.graph_layout();
   const int entry_workers = num_workers();

@@ -17,7 +17,7 @@ SAGE_BENCHMARK(table1_work_omega,
   // (case, omega) cell once: repetitions would multiply the 50-cell sweep
   // without changing a single counter.
   ctx.SetProtocol(/*repetitions=*/1, /*warmup=*/0);
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::EmulationConfig prev_config = cm.config();
   const nvram::AllocPolicy prev_policy = cm.alloc_policy();
   const std::vector<double> omegas = {1, 2, 4, 8, 16};

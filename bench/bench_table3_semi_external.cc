@@ -16,7 +16,7 @@ SAGE_BENCHMARK(table3_semi_external,
   auto in = MakeBenchInput();
   ctx.SetScale(ScaleOf(in.graph));
   const Graph& g = in.graph;
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 

@@ -19,7 +19,7 @@ SAGE_BENCHMARK(table4_tc_blocksize,
   // deterministic per run, so one un-warmed run per block size suffices —
   // same rationale as table1's sweep.
   ctx.SetProtocol(/*repetitions=*/1, /*warmup=*/0);
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const nvram::AllocPolicy prev = cm.alloc_policy();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 

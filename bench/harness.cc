@@ -138,7 +138,7 @@ BenchRecord BenchContext::NewRecord(std::string label) const {
   r.threads = num_workers();
   r.repetitions = repetitions_;
   r.warmup = warmup_;
-  r.omega = nvram::CostModel::Get().config().omega;
+  r.omega = nvram::Cost().config().omega;
   return r;
 }
 
@@ -165,8 +165,8 @@ void BenchContext::NoteF(const char* fmt, ...) {
 
 BenchRecord BenchContext::MeasureFn(std::string label,
                                     const std::function<void()>& fn) {
-  auto& cm = nvram::CostModel::Get();
-  auto& mt = nvram::MemoryTracker::Get();
+  auto& cm = nvram::Cost();
+  auto& mt = nvram::Memory();
   BenchRecord r = NewRecord(std::move(label));
   for (int i = 0; i < warmup_; ++i) fn();
   std::vector<double> samples;

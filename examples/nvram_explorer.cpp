@@ -5,7 +5,7 @@
 // This is the example to read to understand the emulation substrate.
 //
 // Sage rows go through the engine API — a RunContext per (policy, omega)
-// point, so the device sweep never touches the CostModel singleton. The
+// point, so the device sweep configures only the ambient context. The
 // GBBS-style rows run the mutating baselines, which are not registry
 // algorithms; they are measured manually against the same counters.
 #include <cstdio>
@@ -42,7 +42,7 @@ void RunSage(const char* label, const Graph& g, nvram::AllocPolicy policy,
 
 void RunMutatingBaseline(const char* label, const Graph& g,
                          nvram::AllocPolicy policy, double omega) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   auto cfg = cm.config();
   cfg.omega = omega;
   cm.SetConfig(cfg);
@@ -82,6 +82,6 @@ int main(int argc, char** argv) {
   }
   std::printf("Sage's device time is flat in omega (zero NVRAM writes); "
               "the mutating baseline's grows linearly.\n");
-  nvram::CostModel::Get().SetConfig(nvram::EmulationConfig{});
+  nvram::Cost().SetConfig(nvram::EmulationConfig{});
   return 0;
 }

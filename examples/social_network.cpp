@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   auto stats = ComputeStats(g);
   std::printf("social graph: %s\n\n", stats.ToString().c_str());
 
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
   // Global clustering coefficient = 3 * triangles / wedges.

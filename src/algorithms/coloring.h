@@ -60,7 +60,7 @@ std::vector<uint32_t> GraphColoring(const GraphT& g, uint64_t seed = 1) {
     waiting[vi].store(c, std::memory_order_relaxed);
     color[vi].store(kUncolored, std::memory_order_relaxed);
   });
-  nvram::CostModel::Get().ChargeWorkWrite(2 * n);
+  nvram::Cost().ChargeWorkWrite(2 * n);
 
   auto frontier = pack_index<vertex_id>(n, [&](size_t v) {
     return waiting[v].load(std::memory_order_relaxed) == 0;
@@ -88,16 +88,16 @@ std::vector<uint32_t> GraphColoring(const GraphT& g, uint64_t seed = 1) {
       uint32_t c = 0;
       while (used[c]) ++c;
       color[v].store(c, std::memory_order_relaxed);
-      nvram::CostModel::Get().ChargeWorkWrite(1);
+      nvram::Cost().ChargeWorkWrite(1);
     });
     // Release successors.
-    std::vector<std::vector<vertex_id>> next(Scheduler::kMaxWorkers);
+    std::vector<std::vector<vertex_id>> next(Scheduler::kMaxShards);
     parallel_for(0, frontier.size(), [&](size_t i) {
       vertex_id v = frontier[i];
       g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
         if (order.Before(v, u) &&
             waiting[u].fetch_sub(1, std::memory_order_relaxed) == 1) {
-          next[worker_id()].push_back(u);
+          next[shard_id()].push_back(u);
         }
       });
     });

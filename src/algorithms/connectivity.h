@@ -46,7 +46,7 @@ std::vector<vertex_id> Connectivity(const GraphT& g,
       if (cu != cv) uf.Unite(cu, cv);
     });
   });
-  nvram::CostModel::Get().ChargeWorkWrite(n);
+  nvram::Cost().ChargeWorkWrite(n);
   return tabulate<vertex_id>(n, [&](size_t v) {
     return uf.Find(ldd.cluster[v]);
   });
@@ -72,21 +72,21 @@ std::vector<std::pair<vertex_id, vertex_id>> SpanningForest(
   // Inter-cluster witness edges: Unite returns true exactly once per merge.
   AtomicUnionFind uf(n);
   std::vector<std::vector<std::pair<vertex_id, vertex_id>>> local(
-      Scheduler::kMaxWorkers);
+      Scheduler::kMaxShards);
   parallel_for(0, n, [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     vertex_id cv = ldd.cluster[v];
     g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
       vertex_id cu = ldd.cluster[u];
       if (cu != cv && uf.Unite(cu, cv)) {
-        local[worker_id()].push_back({v, u});
+        local[shard_id()].push_back({v, u});
       }
     });
   });
   for (auto& l : local) {
     edges.insert(edges.end(), l.begin(), l.end());
   }
-  nvram::CostModel::Get().ChargeWorkWrite(edges.size());
+  nvram::Cost().ChargeWorkWrite(edges.size());
   return edges;
 }
 

@@ -60,7 +60,7 @@ DensestSubgraphResult ApproxDensestSubgraph(const GraphT& g,
     parallel_for(0, peel.size(),
                  [&](size_t i) { removed_round[peel[i]] = round; });
     live_vertices -= peel.size();
-    nvram::CostModel::Get().ChargeWorkWrite(peel.size());
+    nvram::Cost().ChargeWorkWrite(peel.size());
     // Aggregate neighbor decrements (dense histogram when frontier large).
     auto frontier = VertexSubset::Sparse(n, std::move(peel));
     auto hist = NeighborHistogram(

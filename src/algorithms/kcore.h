@@ -53,7 +53,7 @@ KCoreResult KCore(const GraphT& g, size_t histogram_threshold_den = 20) {
       result.coreness[peel[i]] = k;
       peeled[peel[i]] = 1;
     });
-    nvram::CostModel::Get().ChargeWorkWrite(2 * peel.size());
+    nvram::Cost().ChargeWorkWrite(2 * peel.size());
     // Aggregate degree decrements for live neighbors of the peeled set.
     auto frontier = VertexSubset::Sparse(n, std::vector<vertex_id>(peel));
     auto hist = NeighborHistogram(

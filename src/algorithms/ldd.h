@@ -192,7 +192,7 @@ LddResult LowDiameterDecomposition(const GraphT& g, double beta,
       });
       SAGE_DCHECK(parent[v] != kNoVertex);
     });
-    nvram::CostModel::Get().ChargeWorkWrite(2 * claimed.size());
+    nvram::Cost().ChargeWorkWrite(2 * claimed.size());
     frontier = VertexSubset::Sparse(n, std::move(claimed));
   }
 

@@ -45,14 +45,14 @@ inline void MatchBatch(std::vector<MatchEdge> batch,
     });
     // Edges winning both endpoints match.
     std::vector<std::vector<std::pair<vertex_id, vertex_id>>> won(
-        Scheduler::kMaxWorkers);
+        Scheduler::kMaxShards);
     parallel_for(0, batch.size(), [&](size_t i) {
       const MatchEdge& e = batch[i];
       if (reserve[e.u].load(std::memory_order_relaxed) == e.key &&
           reserve[e.v].load(std::memory_order_relaxed) == e.key) {
         matched[e.u].store(1, std::memory_order_relaxed);
         matched[e.v].store(1, std::memory_order_relaxed);
-        won[worker_id()].push_back({e.u, e.v});
+        won[shard_id()].push_back({e.u, e.v});
       }
     });
     for (auto& w : won) out.insert(out.end(), w.begin(), w.end());
@@ -92,7 +92,7 @@ std::vector<std::pair<vertex_id, vertex_id>> MaximalMatching(
   while (remaining > 0) {
     // Extract up to `budget` active edges from a rotating vertex window.
     std::vector<std::vector<internal::MatchEdge>> local(
-        Scheduler::kMaxWorkers);
+        Scheduler::kMaxShards);
     uint64_t taken = 0;
     vertex_id v = window_start;
     vertex_id scanned = 0;
@@ -111,7 +111,7 @@ std::vector<std::pair<vertex_id, vertex_id>> MaximalMatching(
             uint64_t salt = key_salt.fetch_add(1, std::memory_order_relaxed);
             uint64_t key = ((Hash64(seed ^ salt) & 0x7FFFFFFFULL) << 32) |
                            (salt & 0xFFFFFFFFULL);
-            local[worker_id()].push_back({a, b, key});
+            local[shard_id()].push_back({a, b, key});
           }
         });
       });

@@ -39,7 +39,7 @@ std::vector<uint8_t> MaximalIndependentSet(const GraphT& g,
     count[vi].store(c, std::memory_order_relaxed);
     status[vi].store(kUndecided, std::memory_order_relaxed);
   });
-  nvram::CostModel::Get().ChargeWorkWrite(2 * n);
+  nvram::Cost().ChargeWorkWrite(2 * n);
 
   auto roots = pack_index<vertex_id>(n, [&](size_t v) {
     return count[v].load(std::memory_order_relaxed) == 0;
@@ -47,7 +47,7 @@ std::vector<uint8_t> MaximalIndependentSet(const GraphT& g,
 
   while (!roots.empty()) {
     // Roots are mutually non-adjacent local minima: all join the MIS.
-    std::vector<std::vector<vertex_id>> newly_out(Scheduler::kMaxWorkers);
+    std::vector<std::vector<vertex_id>> newly_out(Scheduler::kMaxShards);
     parallel_for(0, roots.size(), [&](size_t i) {
       vertex_id v = roots[i];
       status[v].store(kIn, std::memory_order_relaxed);
@@ -55,20 +55,20 @@ std::vector<uint8_t> MaximalIndependentSet(const GraphT& g,
         uint8_t expected = kUndecided;
         if (status[u].compare_exchange_strong(expected, kOut,
                                               std::memory_order_relaxed)) {
-          newly_out[worker_id()].push_back(u);
+          newly_out[shard_id()].push_back(u);
         }
       });
     });
     auto out_now = flatten(newly_out);
     // Each decided-out vertex releases its higher-priority neighbors.
-    std::vector<std::vector<vertex_id>> next_roots(Scheduler::kMaxWorkers);
+    std::vector<std::vector<vertex_id>> next_roots(Scheduler::kMaxShards);
     parallel_for(0, out_now.size(), [&](size_t i) {
       vertex_id u = out_now[i];
       g.MapNeighbors(u, [&](vertex_id, vertex_id x, weight_t) {
         if (priority[x] > priority[u] &&
             status[x].load(std::memory_order_relaxed) == kUndecided) {
           if (count[x].fetch_sub(1, std::memory_order_relaxed) == 1) {
-            next_roots[worker_id()].push_back(x);
+            next_roots[shard_id()].push_back(x);
           }
         }
       });
@@ -78,7 +78,7 @@ std::vector<uint8_t> MaximalIndependentSet(const GraphT& g,
     roots = filter(candidates, [&](vertex_id v) {
       return status[v].load(std::memory_order_relaxed) == kUndecided;
     });
-    nvram::CostModel::Get().ChargeWorkWrite(out_now.size() + roots.size());
+    nvram::Cost().ChargeWorkWrite(out_now.size() + roots.size());
   }
   return tabulate<uint8_t>(n, [&](size_t v) {
     return status[v].load(std::memory_order_relaxed) == kIn ? 1 : 0;

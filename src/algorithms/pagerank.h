@@ -32,7 +32,7 @@ PageRankResult PageRank(const GraphT& g, double epsilon = 1e-6,
   PageRankResult result;
   if (n == 0) return result;
   std::vector<double> p(n, 1.0 / n), contrib(n), next(n);
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   for (uint64_t it = 0; it < max_iters; ++it) {
     // contrib[u] = p[u] / deg(u), read repeatedly by neighbors.
     parallel_for(0, n, [&](size_t u) {

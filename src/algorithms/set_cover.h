@@ -98,7 +98,7 @@ std::vector<vertex_id> ApproximateSetCover(const GraphT& g,
     });
     // 3. Count wins; strong winners enter the cover and mark elements.
     std::vector<std::pair<vertex_id, bucket_id>> rebucket;
-    std::vector<std::vector<vertex_id>> chosen(Scheduler::kMaxWorkers);
+    std::vector<std::vector<vertex_id>> chosen(Scheduler::kMaxShards);
     std::vector<uint8_t> won(sets.size(), 0);
     parallel_for(0, sets.size(), [&](size_t i) {
       vertex_id s = sets[i];
@@ -111,7 +111,7 @@ std::vector<vertex_id> ApproximateSetCover(const GraphT& g,
       });
       if (static_cast<double>(wins) >= bucket_floor / 2.0 && wins > 0) {
         won[i] = 1;
-        chosen[worker_id()].push_back(s);
+        chosen[shard_id()].push_back(s);
         gf.MapActive(s, [&](vertex_id, vertex_id e) {
           if (bid[e].load(std::memory_order_relaxed) == key) {
             covered[e].store(1, std::memory_order_relaxed);

@@ -55,13 +55,13 @@ std::vector<std::pair<vertex_id, vertex_id>> Spanner(
   struct InterEdge {
     vertex_id cu, cv, u, v;
   };
-  std::vector<std::vector<InterEdge>> local(Scheduler::kMaxWorkers);
+  std::vector<std::vector<InterEdge>> local(Scheduler::kMaxShards);
   parallel_for(0, n, [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     vertex_id cv = ldd.cluster[v];
     g.MapNeighbors(v, [&](vertex_id, vertex_id u, weight_t) {
       vertex_id cu = ldd.cluster[u];
-      if (cv < cu) local[worker_id()].push_back({cv, cu, v, u});
+      if (cv < cu) local[shard_id()].push_back({cv, cu, v, u});
     });
   });
   std::vector<InterEdge> inter = flatten(local);

@@ -52,7 +52,7 @@ TriangleCountResult TriangleCount(const GraphT& g,
     uint64_t triangles = 0;
     uint64_t intersection_work = 0;
   };
-  std::vector<WorkerState> workers(Scheduler::kMaxWorkers);
+  std::vector<WorkerState> workers(Scheduler::kMaxShards);
 
   // Fine granularity: per-vertex intersection cost is highly skewed on
   // power-law graphs, so large sequential chunks would serialize the hubs.
@@ -60,7 +60,7 @@ TriangleCountResult TriangleCount(const GraphT& g,
       0, n,
       [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
-    WorkerState& ws = workers[worker_id()];
+    WorkerState& ws = workers[shard_id()];
     uint32_t dv = gf.degree_uncharged(v);
     if (dv == 0) return;
     ws.a.resize(dv);

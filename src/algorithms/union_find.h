@@ -22,7 +22,7 @@ class AtomicUnionFind {
     parallel_for(0, n, [&](size_t v) {
       parent_[v].store(static_cast<vertex_id>(v), std::memory_order_relaxed);
     });
-    nvram::CostModel::Get().ChargeWorkWrite(n);
+    nvram::Cost().ChargeWorkWrite(n);
   }
 
   /// Root of v's set, with path halving.

@@ -1,4 +1,5 @@
-// sage::Engine: the facade bundling a graph with a RunContext.
+// sage::Engine: the facade bundling a graph with a RunContext and a
+// concurrent query front door.
 //
 // An Engine owns the (NVRAM-resident, read-only) input graph and the run
 // configuration, and exposes one call for everything:
@@ -8,15 +9,38 @@
 //   auto sssp = engine.Run("bellman-ford", {.source = 5});
 //   if (sssp.ok()) std::puts(sssp.ValueOrDie().ToJson().c_str());
 //
-// The engine lazily synthesizes and caches the weighted twin used by the
-// weighted algorithms when the input graph carries no weights, so repeated
-// weighted runs pay the synthesis cost once.
+// Concurrent queries: Submit() enqueues a run onto the engine's
+// QueryService - a bounded queue drained by a fixed pool of session
+// threads sharing the one graph image - and returns a
+// std::future<Result<RunReport>>:
+//
+//   auto f1 = engine.Submit("bfs", {.source = 0});
+//   auto f2 = engine.Submit("pagerank");                // overlaps with f1
+//   auto r1 = f1.get();                                 // own exact counters
+//
+// Thread-safety contract: Submit(), Run(), graph(), and WeightedTwin() may
+// be called from any number of threads concurrently; each run executes
+// under its own nvram::ExecutionContext, so reports never bleed into each
+// other. context() returns a mutable reference and must not be modified
+// while queries are in flight. Moving an Engine is cheap (its state is
+// heap-held and address-stable) but must not race in-flight queries.
+//
+// Run() is a thin synchronous wrapper over Submit(): same queue, same
+// session pool, block on the future. The engine lazily synthesizes and
+// caches the weighted twins used by the weighted algorithms when the input
+// graph carries no weights - one twin per weight seed, race-free under
+// concurrent Submit, each paying its synthesis cost once.
 #pragma once
 
-#include <optional>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "api/query_service.h"
 #include "api/registry.h"
 #include "graph/builder.h"
 #include "graph/graph.h"
@@ -27,7 +51,10 @@ namespace sage {
 class Engine {
  public:
   explicit Engine(Graph graph, RunContext ctx = RunContext{})
-      : graph_(std::move(graph)), ctx_(ctx) {}
+      : state_(std::make_unique<State>()) {
+    state_->graph = std::move(graph);
+    state_->ctx = ctx;
+  }
 
   /// Loads the graph at `path` in any format ReadGraphAuto understands and
   /// wraps it in an engine. Binary .bsadj images open zero-copy as
@@ -42,31 +69,99 @@ class Engine {
     return Engine(graph.TakeValue(), ctx);
   }
 
-  /// Runs a registered algorithm on the engine's graph under its context.
+  /// Runs a registered algorithm on the engine's graph under its context,
+  /// synchronously: submits onto the query service and blocks on the
+  /// future.
   Result<RunReport> Run(const std::string& algorithm,
                         const RunParams& params = RunParams{}) {
-    const AlgorithmInfo* info = AlgorithmRegistry::Get().Find(algorithm);
-    if (info != nullptr && info->needs_weights && !graph_.weighted()) {
-      if (!weighted_.has_value() || weighted_seed_ != params.weight_seed) {
-        weighted_ = AddRandomWeights(graph_, params.weight_seed);
-        weighted_seed_ = params.weight_seed;
-      }
-      return AlgorithmRegistry::Run(algorithm, graph_, *weighted_, ctx_,
-                                    params);
-    }
-    return AlgorithmRegistry::Run(algorithm, graph_, ctx_, params);
+    return Submit(algorithm, params).get();
   }
 
-  const Graph& graph() const { return graph_; }
-  RunContext& context() { return ctx_; }
-  const RunContext& context() const { return ctx_; }
+  /// Enqueues a registered algorithm onto the engine's query service and
+  /// returns the future run report. Queries overlap up to the service's
+  /// session count; the queue bounds backpressure (Submit blocks while
+  /// full). Safe from any thread.
+  std::future<Result<RunReport>> Submit(const std::string& algorithm,
+                                        const RunParams& params = RunParams{}) {
+    return service().Submit(algorithm, state_->ctx, params);
+  }
+
+  /// The engine's query service, started on first use. Pass Options to the
+  /// first call to size the session pool / queue; later calls return the
+  /// running service unchanged.
+  QueryService& service(QueryService::Options options = QueryService::Options{}) {
+    State& s = *state_;
+    std::call_once(s.service_once, [&] {
+      // The provider captures the heap-held state, not `this`, so a moved
+      // engine keeps a valid service.
+      State* state = &s;
+      s.service = std::make_unique<QueryService>(
+          s.graph, options, [state](uint64_t seed) -> const Graph* {
+            return WeightedTwinFor(*state, seed);
+          });
+    });
+    return *s.service;
+  }
+
+  /// The weighted twin for `seed`: the graph itself when it carries
+  /// weights, else a synthesized copy cached per seed (up to
+  /// kMaxCachedTwins distinct seeds; beyond that nullptr, and runs
+  /// synthesize per-run instead of growing the cache without bound).
+  /// Thread-safe; a returned pointer stays valid for the engine's
+  /// lifetime.
+  const Graph* WeightedTwin(uint64_t seed) {
+    return WeightedTwinFor(*state_, seed);
+  }
+
+  /// Distinct weight seeds whose twins the engine keeps resident. Each
+  /// twin is a full O(n + m) copy, so the cache is capped; seed sweeps
+  /// beyond the cap pay per-run synthesis instead of DRAM.
+  static constexpr size_t kMaxCachedTwins = 4;
+
+  const Graph& graph() const { return state_->graph; }
+  RunContext& context() { return state_->ctx; }
+  const RunContext& context() const { return state_->ctx; }
 
  private:
-  Graph graph_;
-  /// Cached weighted twin for weighted algorithms on unweighted inputs.
-  std::optional<Graph> weighted_;
-  uint64_t weighted_seed_ = 0;
-  RunContext ctx_;
+  /// Heap-held so the engine stays cheaply movable while the graph, twin
+  /// cache, and service keep stable addresses for in-flight queries.
+  struct State {
+    Graph graph;
+    RunContext ctx;
+    /// Cached weighted twins for weighted algorithms on unweighted inputs,
+    /// one per weight seed. Twins are pointer-stable: a run may hold a
+    /// reference while another seed synthesizes.
+    std::mutex twins_mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Graph>> twins;
+    std::once_flag service_once;
+    std::unique_ptr<QueryService> service;
+  };
+
+  static const Graph* WeightedTwinFor(State& s, uint64_t seed) {
+    if (s.graph.weighted()) return &s.graph;
+    {
+      std::lock_guard<std::mutex> lock(s.twins_mu);
+      auto it = s.twins.find(seed);
+      if (it != s.twins.end()) return it->second.get();
+      // Never evict: in-flight runs may hold references to cached twins,
+      // so the cap bounds residency by refusing new entries instead.
+      if (s.twins.size() >= kMaxCachedTwins) return nullptr;
+    }
+    // Synthesize outside the cache lock (hits on other seeds never wait
+    // behind an O(n + m) synthesis) and under the scheduler-width lock
+    // (the parallel synthesis must not race a width-changing run's pool
+    // rebuild). Two first-time callers of one seed may both synthesize;
+    // the loser's copy is discarded below.
+    std::unique_ptr<Graph> twin;
+    {
+      internal::SchedulerWidthGuard width_guard;
+      twin = std::make_unique<Graph>(AddRandomWeights(s.graph, seed));
+    }
+    std::lock_guard<std::mutex> lock(s.twins_mu);
+    return s.twins.emplace(seed, std::move(twin)).first->second.get();
+  }
+
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace sage

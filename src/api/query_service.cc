@@ -1,0 +1,123 @@
+#include "api/query_service.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "parallel/parallel.h"
+
+namespace sage {
+
+QueryService::QueryService(const Graph& graph, Options options,
+                           WeightedTwinProvider twin_provider)
+    : graph_(graph),
+      options_([&] {
+        Options o = options;
+        o.sessions = std::max(1, o.sessions);
+        o.queue_capacity = std::max<size_t>(1, o.queue_capacity);
+        return o;
+      }()),
+      twin_provider_(std::move(twin_provider)) {
+  // Materialize the scheduler before the sessions race to use it: its
+  // lazy first-use construction is single-threaded by contract.
+  (void)Scheduler::Get();
+  sessions_.reserve(static_cast<size_t>(options_.sessions));
+  try {
+    for (int i = 0; i < options_.sessions; ++i) {
+      sessions_.emplace_back([this] { SessionLoop(); });
+    }
+  } catch (...) {
+    // Thread spawning failed partway (resource exhaustion): join the
+    // sessions already parked on this object before the half-constructed
+    // members unwind (the destructor will not run).
+    Shutdown();
+    throw;
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<Result<RunReport>> QueryService::Submit(std::string algorithm,
+                                                    RunContext ctx,
+                                                    RunParams params) {
+  Request request;
+  request.algorithm = std::move(algorithm);
+  request.ctx = ctx;
+  request.params = params;
+  std::future<Result<RunReport>> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) {
+      request.promise.set_value(Status::Internal(
+          "QueryService is shut down; submission rejected"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void QueryService::Shutdown() {
+  // Serializes shutdowns end to end: a concurrent second caller (e.g. the
+  // destructor racing an explicit Shutdown) blocks here until the first
+  // caller has finished joining the sessions, never returning while
+  // session threads still run.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;  // fully shut down by a previous caller
+    shutdown_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+}
+
+size_t QueryService::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void QueryService::SessionLoop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shut down and fully drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    try {
+      request.promise.set_value(Execute(request));
+    } catch (...) {
+      request.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+Result<RunReport> QueryService::Execute(Request& request) {
+  const AlgorithmInfo* info = AlgorithmRegistry::Get().Find(request.algorithm);
+  if (info != nullptr && info->needs_weights && !graph_.weighted() &&
+      twin_provider_ != nullptr) {
+    // The provider owns its thread-safety, including holding the
+    // scheduler-width lock around any parallel synthesis (Engine's
+    // provider does, via internal::SchedulerWidthGuard).
+    const Graph* weighted = twin_provider_(request.params.weight_seed);
+    if (weighted != nullptr) {
+      return AlgorithmRegistry::Run(request.algorithm, graph_, *weighted,
+                                    request.ctx, request.params);
+    }
+  }
+  return AlgorithmRegistry::Run(request.algorithm, graph_, request.ctx,
+                                request.params);
+}
+
+}  // namespace sage

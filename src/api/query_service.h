@@ -1,0 +1,124 @@
+// QueryService: a bounded concurrent run queue over one shared graph.
+//
+// The semi-asymmetric model keeps the graph immutable (on NVRAM), so any
+// number of queries can traverse one graph image at once; per-run
+// ExecutionContexts (nvram/execution_context.h) make their PSAM accounting
+// exact. QueryService is the front door for that mode: a fixed pool of
+// session threads drains a bounded queue of submitted queries, each
+// executed through AlgorithmRegistry::Run under its own context, and
+// fulfills a std::future per query.
+//
+//   QueryService service(graph, {.sessions = 4});
+//   auto bfs = service.Submit("bfs", ctx, {.source = 0});
+//   auto pr  = service.Submit("pagerank", ctx);
+//   if (bfs.get().ok()) ...                       // runs overlap freely
+//
+// Thread-safety contract:
+//   - Submit() may be called from any number of threads. When the queue is
+//     full it blocks until a slot frees (backpressure, never unbounded
+//     growth).
+//   - The graph must outlive the service and stay immutable while it runs
+//     (Sage graphs are).
+//   - Submitted RunContexts should leave num_threads at 0: resizing the
+//     shared scheduler serializes against every in-flight run.
+//   - Shutdown() (and the destructor) stops accepting work, drains queued
+//     queries, and joins the sessions; futures for drained queries still
+//     complete.
+//
+// Engine wraps one QueryService per engine (Engine::Submit); construct one
+// directly to serve a graph without the facade.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/run_context.h"
+#include "api/run_report.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sage {
+
+class QueryService {
+ public:
+  struct Options {
+    /// Session threads draining the queue = maximum concurrently executing
+    /// queries. Each session runs one query at a time; the queries' inner
+    /// parallelism shares the process-wide scheduler.
+    int sessions = 4;
+    /// Maximum queued (not yet executing) queries; Submit blocks when full.
+    size_t queue_capacity = 128;
+  };
+
+  /// Resolves the weighted twin to run a needs_weights algorithm on when
+  /// the service's graph is unweighted. Must be thread-safe, and must hold
+  /// the scheduler-width lock (AlgorithmRegistry's
+  /// internal::SchedulerWidthGuard) around any parallel synthesis it
+  /// performs - Engine's provider does. A returned graph must stay alive
+  /// for the service's lifetime (Engine's cache is). Returning nullptr -
+  /// or passing no provider - makes the registry synthesize a per-run
+  /// twin instead (correct, just uncached).
+  using WeightedTwinProvider = std::function<const Graph*(uint64_t seed)>;
+
+  explicit QueryService(const Graph& graph) : QueryService(graph, Options()) {}
+  QueryService(const Graph& graph, Options options,
+               WeightedTwinProvider twin_provider = nullptr);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; returns a future that completes when a session
+  /// has executed it. Blocks while the queue is at capacity. After
+  /// Shutdown() the future completes immediately with an Internal error.
+  std::future<Result<RunReport>> Submit(std::string algorithm, RunContext ctx,
+                                        RunParams params = RunParams{});
+
+  /// Stops accepting new queries, drains the queue, joins the sessions.
+  /// Idempotent.
+  void Shutdown();
+
+  const Graph& graph() const { return graph_; }
+  int sessions() const { return static_cast<int>(sessions_.size()); }
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+  /// Queries queued but not yet picked up by a session.
+  size_t pending() const;
+
+ private:
+  struct Request {
+    std::string algorithm;
+    RunContext ctx;
+    RunParams params;
+    std::promise<Result<RunReport>> promise;
+  };
+
+  void SessionLoop();
+  Result<RunReport> Execute(Request& request);
+
+  const Graph& graph_;
+  const Options options_;
+  const WeightedTwinProvider twin_provider_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  /// Held for the whole of Shutdown() so concurrent shutdowns (destructor
+  /// vs. explicit call) both return only after the sessions are joined.
+  std::mutex shutdown_mu_;
+
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace sage

@@ -1,16 +1,27 @@
 #include "api/registry.h"
 
 #include <cctype>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/timer.h"
 #include "graph/builder.h"
-#include "nvram/memory_tracker.h"
+#include "nvram/execution_context.h"
 #include "parallel/parallel.h"
 
 namespace sage {
 
 namespace {
+
+// Concurrent runs share the process-wide scheduler freely, but a run that
+// asks for a different thread width must rebuild the pool, which is only
+// safe with no other run in flight: width changes take this lock
+// exclusively, every other run shares it.
+std::shared_mutex& SchedulerWidthLock() {
+  static std::shared_mutex* mu = new std::shared_mutex();
+  return *mu;
+}
 
 bool IsKebabCase(const std::string& name) {
   if (name.empty() || name.front() == '-' || name.back() == '-') return false;
@@ -31,6 +42,18 @@ bool IsKebabCase(const std::string& name) {
 }
 
 }  // namespace
+
+namespace internal {
+
+SchedulerWidthGuard::SchedulerWidthGuard() {
+  SchedulerWidthLock().lock_shared();
+}
+
+SchedulerWidthGuard::~SchedulerWidthGuard() {
+  SchedulerWidthLock().unlock_shared();
+}
+
+}  // namespace internal
 
 AlgorithmRegistry& AlgorithmRegistry::Get() {
   static AlgorithmRegistry& registry = *[] {
@@ -121,6 +144,19 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
     return Status::InvalidArgument(name + " requires a symmetric graph");
   }
 
+  // Thread-width discipline: width-changing runs are exclusive (the pool
+  // rebuild must not race in-flight parallel work); everything else runs
+  // concurrently under a shared lock. Taken before weight synthesis, which
+  // itself runs parallel work on the shared pool.
+  std::shared_lock<std::shared_mutex> shared_width;
+  std::unique_lock<std::shared_mutex> exclusive_width;
+  if (ctx.num_threads > 0) {
+    exclusive_width = std::unique_lock<std::shared_mutex>(SchedulerWidthLock());
+    if (ctx.num_threads != num_workers()) Scheduler::Reset(ctx.num_threads);
+  } else {
+    shared_width = std::shared_lock<std::shared_mutex>(SchedulerWidthLock());
+  }
+
   // Weight synthesis happens before the counter frame: preparing the input
   // is not part of the algorithm's PSAM cost (the pre-registry drivers
   // likewise built the weighted twin before resetting the counters).
@@ -135,15 +171,14 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
     }
   }
 
-  auto& cm = nvram::CostModel::Get();
-  if (ctx.num_threads > 0 && ctx.num_threads != num_workers()) {
-    Scheduler::Reset(ctx.num_threads);
-  }
-  const nvram::EmulationConfig prev_config = cm.config();
-  const nvram::AllocPolicy prev_policy = cm.alloc_policy();
-  const nvram::GraphLayout prev_layout = cm.graph_layout();
-  const nvram::GraphResidence prev_residence = cm.graph_residence();
-  nvram::EmulationConfig config = prev_config;
+  // The run's private execution state: fresh counters and a device
+  // configuration seeded from the ambient context, overridden by the
+  // RunContext. Nothing process-wide is touched, so concurrent runs
+  // account independently and there is nothing to restore.
+  nvram::ExecutionContext exec;
+  exec.InheritDeviceState(nvram::ExecutionContext::Current());
+  auto& cm = exec.cost_model();
+  nvram::EmulationConfig config = cm.config();
   config.omega = ctx.omega;
   cm.SetConfig(config);
   cm.SetAllocPolicy(ctx.policy);
@@ -156,21 +191,18 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
                            ? nvram::GraphResidence::kMappedNvram
                            : nvram::GraphResidence::kPolicy);
 
-  auto& mt = nvram::MemoryTracker::Get();
-  const uint64_t mem_base = mt.CurrentBytes();
-  mt.ResetPeak();
-  const nvram::CostTotals cost_base = cm.Totals();
-
-  Timer timer;
-  AlgoOutput output = entry->runner(g, *gw, ctx, params);
-
   RunReport report;
-  report.wall_seconds = timer.Seconds();
-  report.cost = cm.Totals() - cost_base;
-  const uint64_t peak = mt.PeakBytes();
-  report.peak_intermediate_bytes = peak > mem_base ? peak - mem_base : 0;
+  {
+    // Bind the context to this thread; the scheduler's task tags carry it
+    // to every worker that executes this run's forked work.
+    nvram::ScopedExecutionContext scope(exec);
+    Timer timer;
+    report.output = entry->runner(g, *gw, ctx, params);
+    report.wall_seconds = timer.Seconds();
+  }
+  report.cost = cm.Totals();
+  report.peak_intermediate_bytes = exec.memory_tracker().PeakBytes();
   report.algorithm = info.name;
-  report.output = std::move(output);
   report.threads = num_workers();
   report.policy = ctx.policy;
   report.omega = ctx.omega;
@@ -178,10 +210,6 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
   report.device_seconds =
       cm.EmulatedNanos(report.cost, report.threads) / 1e9;
 
-  cm.SetConfig(prev_config);
-  cm.SetAllocPolicy(prev_policy);
-  cm.SetGraphLayout(prev_layout);
-  cm.SetGraphResidence(prev_residence);
   // Summaries run outside the frame: digesting the output (sorting labels,
   // counting reached vertices) is presentation, not algorithm cost.
   report.summary = entry->summarize(report.output);

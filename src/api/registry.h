@@ -11,11 +11,16 @@
 //
 // Run() validates the request against the declared requirements
 // (synthesizing random weights when a weighted algorithm is handed an
-// unweighted graph), applies the context to the CostModel/Scheduler
-// singletons, executes the runner inside a scoped PSAM counter frame, and
-// returns a RunReport carrying the output plus the counter deltas. The
-// previous device configuration is restored before returning, so runs are
-// hermetic with respect to each other.
+// unweighted graph), materializes the RunContext into a private
+// nvram::ExecutionContext (counters + device state owned by that run),
+// executes the runner with the context bound to the run's workers, and
+// returns a RunReport carrying the output plus the run's exact counters
+// and peak intermediate DRAM. No process-wide state is mutated or
+// restored, so any number of Run() calls may execute concurrently from
+// different threads over one shared graph - each report accounts only its
+// own run. (The one exception is RunContext::num_threads: resizing the
+// shared scheduler is a process-wide act, so such runs execute exclusively
+// after in-flight runs drain.)
 //
 // The built-in algorithms self-register in api/builtin_algorithms.cc, in
 // Table 1 row order; Names()/entries() preserve registration order so
@@ -118,6 +123,19 @@ class AlgorithmRegistry {
 namespace internal {
 /// Defined in builtin_algorithms.cc: registers the 18 Table-1 algorithms.
 void RegisterBuiltinAlgorithms(AlgorithmRegistry& registry);
+
+/// RAII shared hold on the registry's scheduler-width lock. Parallel work
+/// that runs *outside* Registry::Run but concurrently with it (the query
+/// service's weighted-twin synthesis) holds this so a width-changing run
+/// cannot rebuild the worker pool underneath it. Must be released before
+/// calling Registry::Run (the lock is not recursive).
+class SchedulerWidthGuard {
+ public:
+  SchedulerWidthGuard();
+  ~SchedulerWidthGuard();
+  SchedulerWidthGuard(const SchedulerWidthGuard&) = delete;
+  SchedulerWidthGuard& operator=(const SchedulerWidthGuard&) = delete;
+};
 }  // namespace internal
 
 }  // namespace sage

@@ -1,14 +1,18 @@
 // RunContext and RunParams: the per-run configuration surface of the
 // engine API.
 //
-// A RunContext owns everything that describes *how* an algorithm executes:
-// the emulated device policy (which data lives on NVRAM vs. DRAM), the PSAM
-// write asymmetry omega, the NUMA placement of the graph, the thread
-// budget, and the EdgeMap traversal options. AlgorithmRegistry::Run applies
-// the context to the process-wide CostModel/Scheduler singletons for the
-// duration of one run and restores the previous device configuration
-// afterwards, so callers never poke the singletons directly (the singletons
-// remain the backing store; the context snapshots/diffs them per run).
+// A RunContext describes *how* an algorithm executes: the emulated device
+// policy (which data lives on NVRAM vs. DRAM), the PSAM write asymmetry
+// omega, the NUMA placement of the graph, the thread budget, and the
+// EdgeMap traversal options. It is pure configuration: for each run,
+// AlgorithmRegistry::Run materializes it into a private
+// nvram::ExecutionContext (counters + device state owned by that run
+// alone) and binds it to the executing thread and its forked work, so any
+// number of runs with different contexts can execute concurrently - no
+// process-wide device state is mutated or restored per run. The ambient
+// configuration (nvram::ExecutionContext::Default()) seeds each run's
+// device state; RunContext's fields then override policy, layout, and
+// omega on top of it.
 //
 // One device property is deliberately *not* in the context: where the graph
 // physically lives. An mmap-ed .bsadj graph (binary_format.h) is
@@ -39,17 +43,21 @@ struct RunContext {
   nvram::GraphLayout graph_layout = nvram::GraphLayout::kReplicated;
   /// PSAM write asymmetry applied for the run (EmulationConfig::omega).
   double omega = nvram::EmulationConfig{}.omega;
-  /// Worker threads for the run; 0 keeps the current scheduler. The
-  /// scheduler is NOT restored after the run (rebuilding thread pools per
-  /// run would dominate small runs); set it once per context change.
+  /// Worker threads for the run; 0 keeps the current scheduler. A non-zero
+  /// width rebuilds the process-wide pool, so the registry runs such
+  /// requests exclusively (they wait for in-flight runs to drain and block
+  /// new ones); the scheduler is NOT restored after the run (rebuilding
+  /// thread pools per run would dominate small runs). Concurrent
+  /// submissions should leave this at 0.
   int num_threads = 0;
   /// EdgeMap traversal options threaded into every frontier-based kernel.
   EdgeMapOptions edge_map;
 
-  /// Snapshots the current singleton state into a context, for callers
-  /// that want "whatever is configured right now" semantics.
+  /// Snapshots the calling thread's ambient device state (the current
+  /// ExecutionContext's - normally Default()'s) into a context, for
+  /// callers that want "whatever is configured right now" semantics.
   static RunContext Current() {
-    auto& cm = nvram::CostModel::Get();
+    const auto& cm = nvram::Cost();
     RunContext ctx;
     ctx.policy = cm.alloc_policy();
     ctx.graph_layout = cm.graph_layout();

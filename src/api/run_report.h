@@ -63,8 +63,10 @@ struct RunReport {
   double omega = 4.0;
   /// PSAM counter deltas charged by the run (word granularity).
   nvram::CostTotals cost;
-  /// Peak DRAM allocated by the run's intermediate structures, in bytes,
-  /// above what was live when the run started (Table 5's metric).
+  /// Peak DRAM allocated by the run's intermediate structures, in bytes
+  /// (Table 5's metric). Measured by the run's own ExecutionContext
+  /// tracker, which starts at zero, so concurrent runs report their own
+  /// peaks.
   uint64_t peak_intermediate_bytes = 0;
 
   /// PSAM work of the run: dram + nvram_reads + omega * nvram_writes.

@@ -31,7 +31,7 @@ inline uint64_t GbbsTriangleCount(const Graph& g) {
   struct alignas(kCacheLineBytes) Local {
     uint64_t count = 0;
   };
-  std::vector<Local> locals(Scheduler::kMaxWorkers);
+  std::vector<Local> locals(Scheduler::kMaxShards);
   parallel_for(0, n, [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     auto nv = pg.Neighbors(v);
@@ -51,7 +51,7 @@ inline uint64_t GbbsTriangleCount(const Graph& g) {
         }
       }
     }
-    locals[worker_id()].count += c;
+    locals[shard_id()].count += c;
   });
   uint64_t total = 0;
   for (const auto& l : locals) total += l.count;
@@ -76,7 +76,7 @@ inline std::vector<std::pair<vertex_id, vertex_id>> GbbsMaximalMatching(
   uint64_t round = 0;
   while (remaining > 0) {
     std::vector<std::vector<internal::MatchEdge>> local(
-        Scheduler::kMaxWorkers);
+        Scheduler::kMaxShards);
     std::atomic<uint64_t> salt{round << 40};
     parallel_for(0, n, [&](size_t vi) {
       vertex_id v = static_cast<vertex_id>(vi);
@@ -86,7 +86,7 @@ inline std::vector<std::pair<vertex_id, vertex_id>> GbbsMaximalMatching(
           uint64_t s = salt.fetch_add(1, std::memory_order_relaxed);
           uint64_t key = ((Hash64(seed ^ s) & 0x7FFFFFFFULL) << 32) |
                          (s & 0xFFFFFFFFULL);
-          local[worker_id()].push_back({a, b, key});
+          local[shard_id()].push_back({a, b, key});
         }
       });
     });

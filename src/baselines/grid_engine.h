@@ -65,7 +65,7 @@ class GridEngine {
           // engines' storage tier. Table 3's systems stream from SSD
           // arrays, roughly kStreamCostMultiplier slower per word than the
           // NVRAM tier Sage random-accesses.
-          nvram::CostModel::Get().ChargeGraphRead(
+          nvram::Cost().ChargeGraphRead(
               2 * block.size() * kStreamCostMultiplier, b * 4096);
           for (const auto& [u, v] : block) f(u, v);
         },

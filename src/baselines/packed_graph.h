@@ -28,7 +28,7 @@ class PackedGraph {
     parallel_for(0, degree_.size(), [&](size_t v) {
       degree_[v] = static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
     });
-    nvram::CostModel::Get().ChargeGraphWrite(neighbors_.size());
+    nvram::Cost().ChargeGraphWrite(neighbors_.size());
   }
 
   vertex_id num_vertices() const {
@@ -37,7 +37,7 @@ class PackedGraph {
 
   /// Current (packed) degree of v.
   vertex_id degree(vertex_id v) const {
-    nvram::CostModel::Get().ChargeGraphRead(1, offsets_[v]);
+    nvram::Cost().ChargeGraphRead(1, offsets_[v]);
     return degree_[v];
   }
   vertex_id degree_uncharged(vertex_id v) const { return degree_[v]; }
@@ -52,14 +52,14 @@ class PackedGraph {
   template <typename F>
   void MapNeighbors(vertex_id v, const F& f) const {
     edge_offset lo = offsets_[v];
-    nvram::CostModel::Get().ChargeGraphRead(1 + degree_[v], lo);
+    nvram::Cost().ChargeGraphRead(1 + degree_[v], lo);
     for (vertex_id i = 0; i < degree_[v]; ++i) f(v, neighbors_[lo + i]);
   }
 
   /// Live neighbors of v (sorted; packing is order-preserving).
   std::span<const vertex_id> Neighbors(vertex_id v) const {
     edge_offset lo = offsets_[v];
-    nvram::CostModel::Get().ChargeGraphRead(1 + degree_[v], lo);
+    nvram::Cost().ChargeGraphRead(1 + degree_[v], lo);
     return {neighbors_.data() + lo, static_cast<size_t>(degree_[v])};
   }
 
@@ -74,7 +74,7 @@ class PackedGraph {
       vertex_id u = neighbors_[lo + i];
       if (pred(v, u)) neighbors_[lo + kept++] = u;
     }
-    auto& cm = nvram::CostModel::Get();
+    auto& cm = nvram::Cost();
     cm.ChargeGraphRead(degree_[v], lo);
     cm.ChargeGraphWrite(kept + 1, lo);  // compacted words + degree word
     degree_[v] = kept;

@@ -59,7 +59,7 @@ class Buckets {
       vtx_bucket_[v] = b;
       Insert(v, Key(b));
     }
-    nvram::CostModel::Get().ChargeWorkWrite(n);
+    nvram::Cost().ChargeWorkWrite(n);
   }
 
   /// The bucket extracted by NextBucket.
@@ -88,8 +88,8 @@ class Buckets {
           });
           if (live.empty()) continue;  // all stale; keep scanning
           for (vertex_id v : live) vtx_bucket_[v] = kNullBucket;
-          nvram::CostModel::Get().ChargeWorkRead(raw.size());
-          nvram::CostModel::Get().ChargeWorkWrite(live.size());
+          nvram::Cost().ChargeWorkRead(raw.size());
+          nvram::Cost().ChargeWorkWrite(live.size());
           return Bucket{id, std::move(live)};
         }
         ++cur_offset_;
@@ -125,7 +125,7 @@ class Buckets {
       vtx_bucket_[v] = b;
       Insert(v, key);
     }
-    nvram::CostModel::Get().ChargeWorkWrite(updates.size());
+    nvram::Cost().ChargeWorkWrite(updates.size());
     MaybeCompact();
   }
 
@@ -169,7 +169,7 @@ class Buckets {
     cur_base_ = min_key;
     cur_offset_ = 0;
     for (vertex_id v : live) Insert(v, Key(vtx_bucket_[v]));
-    nvram::CostModel::Get().ChargeWorkWrite(live.size());
+    nvram::Cost().ChargeWorkWrite(live.size());
     return true;
   }
 
@@ -194,7 +194,7 @@ class Buckets {
              key - cur_base_ >= static_cast<bucket_id>(num_open_);
     });
     new_stored += overflow_.size();
-    nvram::CostModel::Get().ChargeWorkWrite(new_stored);
+    nvram::Cost().ChargeWorkWrite(new_stored);
     stored_ = new_stored;
   }
 

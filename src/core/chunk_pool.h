@@ -13,10 +13,18 @@
 // reconfigured it in place on a capacity change, which raced when two
 // concurrent traversals over graphs with different average degrees hit
 // Get() at once - one traversal's free lists were drained and resized under
-// the other's feet. Keyed pools make Get() safe under concurrency, and the
-// per-worker free lists carry a lock for the residual case of two foreign
-// driver threads sharing worker id 0 (uncontended in steady state, so the
-// cost is one cache-hot CAS per chunk, amortized over thousands of pushes).
+// the other's feet. Keyed pools make Get() safe under concurrency; free
+// lists are indexed by Scheduler::shard_id() (every charging thread, pool
+// worker or driver, has its own slot) and keep a lock as a belt-and-braces
+// guard for the rare slot-exhaustion alias (uncontended in steady state,
+// so the cost is one cache-hot CAS per chunk).
+//
+// Memory accounting is per-ExecutionContext: every Alloc charges the
+// *current* context's MemoryTracker for the chunk's capacity - whether the
+// chunk was minted or reused from the pool - and Release frees the charge,
+// so each run's peak reflects the chunks it actually held, deterministic
+// regardless of pool warmth, and concurrent runs never see each other's
+// chunk traffic.
 #pragma once
 
 #include <algorithm>
@@ -65,9 +73,11 @@ class ChunkPool {
     return *slot;
   }
 
-  /// Takes a chunk from the calling worker's free list (or mints one).
+  /// Takes a chunk from the calling thread's free list (or mints one),
+  /// charging the current context's tracker for its capacity either way.
   std::unique_ptr<Chunk> Alloc() {
-    FreeList& fl = free_lists_[Scheduler::worker_id()];
+    nvram::Memory().Allocate(capacity_ * sizeof(vertex_id));
+    FreeList& fl = free_lists_[Scheduler::shard_id()];
     {
       std::lock_guard<std::mutex> lock(fl.mu);
       if (!fl.chunks.empty()) {
@@ -77,24 +87,24 @@ class ChunkPool {
         return chunk;
       }
     }
-    nvram::MemoryTracker::Get().Allocate(capacity_ * sizeof(vertex_id));
     return std::make_unique<Chunk>(capacity_);
   }
 
-  /// Returns a chunk to the calling worker's free list.
+  /// Returns a chunk to the calling thread's free list, releasing the
+  /// current context's charge for it.
   void Release(std::unique_ptr<Chunk> chunk) {
-    FreeList& fl = free_lists_[Scheduler::worker_id()];
+    nvram::Memory().Free(capacity_ * sizeof(vertex_id));
+    FreeList& fl = free_lists_[Scheduler::shard_id()];
     std::lock_guard<std::mutex> lock(fl.mu);
     fl.chunks.push_back(std::move(chunk));
   }
 
-  /// Frees this pool's pooled chunks (between experiments, to reset the
-  /// tracker).
+  /// Frees this pool's pooled chunks (between experiments). Pooled chunks
+  /// carry no tracker charge - Release already returned it - so this only
+  /// returns heap memory.
   void Drain() {
     for (auto& fl : free_lists_) {
       std::lock_guard<std::mutex> lock(fl.mu);
-      nvram::MemoryTracker::Get().Free(fl.chunks.size() * capacity_ *
-                                       sizeof(vertex_id));
       fl.chunks.clear();
     }
   }
@@ -110,8 +120,8 @@ class ChunkPool {
 
  private:
   struct alignas(kCacheLineBytes) FreeList {
-    /// Guards against the one worker-id collision the scheduler permits:
-    /// every foreign driver thread reports id 0.
+    /// Guards against the one shard-id collision the scheduler permits:
+    /// foreign threads beyond the kForeignSlots lease pool alias one slot.
     std::mutex mu;
     std::vector<std::unique_ptr<Chunk>> chunks;
   };
@@ -129,7 +139,7 @@ class ChunkPool {
   explicit ChunkPool(size_t capacity) : capacity_(capacity) {}
 
   const size_t capacity_;
-  FreeList free_lists_[Scheduler::kMaxWorkers];
+  FreeList free_lists_[Scheduler::kMaxShards];
 };
 
 }  // namespace sage

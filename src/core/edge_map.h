@@ -94,7 +94,7 @@ template <typename GraphT, typename F>
 VertexSubset EdgeMapDense(const GraphT& g, const VertexSubset& frontier,
                           F& f) {
   const vertex_id n = g.num_vertices();
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   std::vector<uint8_t> next(n, 0);
   const auto& in_frontier = frontier.flags();
   parallel_for(0, n, [&](size_t vi) {
@@ -120,7 +120,7 @@ template <typename GraphT, typename F>
 VertexSubset EdgeMapSparse(const GraphT& g, const VertexSubset& frontier,
                            F& f, uint64_t frontier_degree) {
   const auto& ids = frontier.ids();
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   std::vector<uint64_t> offs(ids.size());
   parallel_for(0, ids.size(),
                [&](size_t i) { offs[i] = g.degree_uncharged(ids[i]); });
@@ -151,7 +151,7 @@ template <typename GraphT, typename F>
 VertexSubset EdgeMapBlocked(const GraphT& g, const VertexSubset& frontier,
                             F& f, uint64_t frontier_degree) {
   const auto& ids = frontier.ids();
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   std::vector<uint64_t> offs(ids.size());
   parallel_for(0, ids.size(),
                [&](size_t i) { offs[i] = g.degree_uncharged(ids[i]); });
@@ -218,7 +218,7 @@ VertexSubset EdgeMapChunked(const GraphT& g, const VertexSubset& frontier,
                             F& f, uint64_t frontier_degree) {
   const auto& ids = frontier.ids();
   const vertex_id n = g.num_vertices();
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   const uint64_t dU = frontier_degree;
   if (dU == 0) return VertexSubset::Empty(n);
 

@@ -94,7 +94,7 @@ class GraphFilter {
     });
     tracked_.Resize(MemoryBytes());
     // Creating the filter writes the DRAM structure once: O(m/64 + blocks).
-    nvram::CostModel::Get().ChargeWorkWrite(bits_.size() +
+    nvram::Cost().ChargeWorkWrite(bits_.size() +
                                             2 * total_blocks + 2 * n);
   }
 
@@ -105,7 +105,7 @@ class GraphFilter {
 
   /// Current number of active edges incident to v.
   vertex_id degree(vertex_id v) const {
-    nvram::CostModel::Get().ChargeWorkRead(1);
+    nvram::Cost().ChargeWorkRead(1);
     return degree_[v];
   }
   vertex_id degree_uncharged(vertex_id v) const { return degree_[v]; }
@@ -146,7 +146,7 @@ class GraphFilter {
   /// and packs out empty blocks when >= 1/4 of the blocks are empty.
   template <typename Pred>
   void PackVertex(vertex_id v, const Pred& pred) {
-    auto& cm = nvram::CostModel::Get();
+    auto& cm = nvram::Cost();
     uint64_t first = first_block_[v];
     uint32_t nb = num_blocks_[v];
     if (nb == 0) return;
@@ -270,7 +270,7 @@ class GraphFilter {
   /// logical block from the graph.
   template <typename F>
   void DecodeAndVisit(vertex_id v, uint64_t blk, const F& f) const {
-    auto& cm = nvram::CostModel::Get();
+    auto& cm = nvram::Cost();
     uint32_t orig = block_orig_[blk];
     const uint64_t* w = BlockWords(blk);
     cm.ChargeWorkRead(words_per_block_ + 2);  // bits + metadata
@@ -348,7 +348,7 @@ class GraphFilter {
         }
       }
       edges_decoded_.fetch_add(active, std::memory_order_relaxed);
-      nvram::CostModel::Get().ChargeGraphRead(
+      nvram::Cost().ChargeGraphRead(
           active, g_.AdjacencyAddress(v) + base);
     }
     return cleared;

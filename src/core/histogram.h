@@ -27,7 +27,7 @@ namespace sage {
 inline std::vector<std::pair<vertex_id, uint32_t>> HistogramKeys(
     std::vector<vertex_id> keys) {
   if (keys.empty()) return {};
-  nvram::CostModel::Get().ChargeWorkRead(keys.size());
+  nvram::Cost().ChargeWorkRead(keys.size());
   parallel_sort_inplace(keys);
   auto bounds = group_boundaries_sorted(keys);
   size_t groups = bounds.size() - 1;
@@ -35,7 +35,7 @@ inline std::vector<std::pair<vertex_id, uint32_t>> HistogramKeys(
     return std::make_pair(keys[bounds[i]],
                           static_cast<uint32_t>(bounds[i + 1] - bounds[i]));
   });
-  nvram::CostModel::Get().ChargeWorkWrite(out.size());
+  nvram::Cost().ChargeWorkWrite(out.size());
   return out;
 }
 
@@ -80,9 +80,9 @@ std::vector<std::pair<vertex_id, uint32_t>> DenseNeighborHistogram(
       c += flags[u] ? 1 : 0;
     });
     counts[vi] = c;
-    nvram::CostModel::Get().ChargeWorkRead(g.degree_uncharged(v));
+    nvram::Cost().ChargeWorkRead(g.degree_uncharged(v));
   });
-  nvram::CostModel::Get().ChargeWorkWrite(n / 2);
+  nvram::Cost().ChargeWorkWrite(n / 2);
   auto idx =
       pack_index<vertex_id>(n, [&](size_t v) { return counts[v] > 0; });
   return tabulate<std::pair<vertex_id, uint32_t>>(idx.size(), [&](size_t i) {

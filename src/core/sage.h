@@ -21,6 +21,7 @@
 
 #include "algorithms/algorithms.h"
 #include "api/engine.h"
+#include "api/query_service.h"
 #include "api/registry.h"
 #include "api/run_context.h"
 #include "api/run_report.h"
@@ -40,6 +41,7 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "nvram/cost_model.h"
+#include "nvram/execution_context.h"
 #include "nvram/memory_tracker.h"
 #include "parallel/parallel.h"
 #include "parallel/primitives.h"

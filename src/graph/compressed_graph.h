@@ -62,7 +62,7 @@ class CompressedGraph {
 
   /// Degree of v; charges one graph-region read.
   vertex_id degree(vertex_id v) const {
-    nvram::CostModel::Get().ChargeGraphRead(1, first_block_[v]);
+    nvram::Cost().ChargeGraphRead(1, first_block_[v]);
     return degrees_[v];
   }
   vertex_id degree_uncharged(vertex_id v) const { return degrees_[v]; }
@@ -239,7 +239,7 @@ class CompressedGraph {
     ChargeBytes(lo, hi - lo);
   }
   void ChargeBytes(uint64_t byte_addr, uint64_t bytes) const {
-    nvram::CostModel::Get().ChargeGraphRead(1 + bytes / 8, byte_addr / 8);
+    nvram::Cost().ChargeGraphRead(1 + bytes / 8, byte_addr / 8);
   }
 
   vertex_id NumVerticesInternal() const {

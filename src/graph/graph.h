@@ -129,7 +129,7 @@ class Graph {
   /// Degree of v. Charges one graph-region read (the offset words).
   vertex_id degree(vertex_id v) const {
     SAGE_DCHECK(v < num_vertices());
-    nvram::CostModel::Get().ChargeGraphRead(1, v);
+    nvram::Cost().ChargeGraphRead(1, v);
     return static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
   }
 
@@ -181,7 +181,7 @@ class Graph {
     edge_offset lo = offsets_[v] + begin, hi = offsets_[v] + end;
     SAGE_DCHECK(hi <= offsets_[v + 1]);
     uint64_t words = 1 + (hi - lo) + (weights_.empty() ? 0 : hi - lo);
-    nvram::CostModel::Get().ChargeGraphRead(words, lo);
+    nvram::Cost().ChargeGraphRead(words, lo);
     if (weights_.empty()) {
       for (edge_offset i = lo; i < hi; ++i) f(v, neighbors_[i], weight_t{1});
     } else {
@@ -253,7 +253,7 @@ class Graph {
   void ChargeNeighborhood(vertex_id v, edge_offset deg) const {
     // Offset word + neighbor words (+ weight words when present).
     uint64_t words = 1 + deg + (weights_.empty() ? 0 : deg);
-    nvram::CostModel::Get().ChargeGraphRead(words, offsets_[v]);
+    nvram::Cost().ChargeGraphRead(words, offsets_[v]);
   }
 
   template <typename T, typename G, typename Op>

@@ -53,15 +53,6 @@ std::string CostTotals::ToJson() const {
 
 namespace {
 
-// Shared direct-mapped tag array for the MemoryMode cache simulator.
-// Accessed without atomics: the simulator is statistical, and benign races
-// only perturb the hit rate marginally (documented in DESIGN.md).
-std::vector<uint64_t>& MemoryModeTags(size_t lines) {
-  static std::vector<uint64_t> tags;
-  if (tags.size() != lines) tags.assign(lines, ~0ULL);
-  return tags;
-}
-
 // Socket of the calling worker: workers are split evenly across sockets,
 // matching `numactl -i all` thread placement.
 int ThreadSocket(int num_sockets) {
@@ -74,17 +65,29 @@ int ThreadSocket(int num_sockets) {
 
 }  // namespace
 
-CostModel::CostModel() = default;
-
-CostModel& CostModel::Get() {
-  static CostModel model;
-  return model;
+void CostModel::EnsureMemoryModeTags() {
+  if (policy_ != AllocPolicy::kMemoryMode) return;
+  // Clear only on (re)allocation: the setters run repeatedly during run
+  // setup (policy, then config), and re-clearing an O(lines) array per
+  // call would tax every memory-mode query. ResetCounters() clears
+  // explicitly.
+  if (memory_mode_tags_ != nullptr &&
+      memory_mode_tag_lines_ == config_.memory_mode_lines) {
+    return;
+  }
+  memory_mode_tag_lines_ = config_.memory_mode_lines;
+  memory_mode_tags_.reset(new std::atomic<uint64_t>[memory_mode_tag_lines_]);
+  for (size_t i = 0; i < memory_mode_tag_lines_; ++i) {
+    memory_mode_tags_[i].store(~0ULL, std::memory_order_relaxed);
+  }
 }
 
 void CostModel::ResetCounters() {
   for (auto& shard : shards_) shard.totals = CostTotals{};
-  MemoryModeTags(config_.memory_mode_lines).assign(config_.memory_mode_lines,
-                                                   ~0ULL);
+  EnsureMemoryModeTags();
+  for (size_t i = 0; i < memory_mode_tag_lines_; ++i) {
+    memory_mode_tags_[i].store(~0ULL, std::memory_order_relaxed);
+  }
 }
 
 void CostModel::ChargeNvramRead(Shard& s, uint64_t words,
@@ -121,8 +124,11 @@ void CostModel::ChargeNvramWrite(Shard& s, uint64_t words,
 void CostModel::ChargeMemoryMode(Shard& s, uint64_t words, uint64_t addr_hint,
                                  bool is_write) {
   // Walk the cache lines this access covers through the direct-mapped tag
-  // array; misses pay NVRAM cost, hits pay DRAM cost.
-  auto& tags = MemoryModeTags(config_.memory_mode_lines);
+  // array; misses pay NVRAM cost, hits pay DRAM cost. Tag updates are
+  // relaxed: concurrent workers of a run may perturb each other's hit rate
+  // marginally (the simulator is statistical), but never race on memory.
+  SAGE_DCHECK(memory_mode_tags_ != nullptr);
+  const size_t tag_lines = memory_mode_tag_lines_;
   const uint64_t lw = config_.memory_mode_line_words;
   uint64_t first_line = addr_hint / lw;
   uint64_t num_lines = (words + lw - 1) / lw;
@@ -130,12 +136,12 @@ void CostModel::ChargeMemoryMode(Shard& s, uint64_t words, uint64_t addr_hint,
   uint64_t hits = 0, misses = 0;
   for (uint64_t l = 0; l < num_lines; ++l) {
     uint64_t line = first_line + l;
-    size_t slot = static_cast<size_t>(line % tags.size());
-    if (tags[slot] == line) {
+    size_t slot = static_cast<size_t>(line % tag_lines);
+    if (memory_mode_tags_[slot].load(std::memory_order_relaxed) == line) {
       ++hits;
     } else {
       ++misses;
-      tags[slot] = line;
+      memory_mode_tags_[slot].store(line, std::memory_order_relaxed);
     }
   }
   // Attribute word traffic proportionally to hit/miss lines.

@@ -2,8 +2,7 @@
 //
 // The Parallel Semi-Asymmetric Model charges unit cost for DRAM reads/writes
 // and NVRAM reads, and cost omega > 1 for NVRAM writes. This module provides
-// the process-wide instrumentation that every Sage and baseline code path
-// reports into:
+// the instrumentation that every Sage and baseline code path reports into:
 //
 //   - per-thread sharded counters (no contention on the hot path) for
 //     NVRAM reads, NVRAM writes, DRAM reads, DRAM writes;
@@ -13,13 +12,21 @@
 //   - EmulatedNanos(): a projected running time under the configured device
 //     latencies, used by benchmarks to report NVRAM-shaped wall-clock.
 //
+// A CostModel is a plain instrument, not a singleton: every
+// nvram::ExecutionContext (execution_context.h) owns one, so concurrent
+// engine runs account independently. Charging code reaches the *current*
+// model - the one belonging to the query the calling worker is executing -
+// through nvram::Cost(), which resolves the scheduler's task tag and falls
+// back to the process-wide default context outside any run.
+//
 // Because this machine has no Optane DIMMs, accounting (plus the optional
-// debt-based throttler in throttle.h) *is* the NVRAM: all experiments charge
-// accesses here and derive device behaviour from the config.
+// debt-based throttler) *is* the NVRAM: all experiments charge accesses
+// here and derive device behaviour from the config.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/macros.h"
@@ -155,22 +162,33 @@ struct CostTotals {
   std::string ToJson() const;
 };
 
-/// Process-wide cost model with per-worker sharded counters.
+/// Cost model instance with per-thread sharded counters, one per
+/// ExecutionContext.
 ///
 /// Hot-path charging is a plain (non-atomic) add to a cache-line-padded
-/// per-worker slot; Totals() sums the shards. Charges from foreign threads
-/// land on shard 0.
+/// per-thread slot (Scheduler::shard_id() gives every charging thread -
+/// pool worker or foreign driver - its own slot); Totals() sums the shards.
+/// Configuration setters are meant for single-threaded setup before the
+/// run starts charging; AlgorithmRegistry configures each run's model
+/// before publishing the context to the workers.
 class CostModel {
  public:
-  static CostModel& Get();
+  CostModel() = default;
+  SAGE_DISALLOW_COPY_AND_ASSIGN(CostModel);
 
   /// Replaces the emulation config (not thread-safe vs. concurrent charging;
-  /// benchmarks set it between phases).
-  void SetConfig(const EmulationConfig& config) { config_ = config; }
+  /// callers set it between phases / before the run).
+  void SetConfig(const EmulationConfig& config) {
+    config_ = config;
+    EnsureMemoryModeTags();
+  }
   const EmulationConfig& config() const { return config_; }
 
   /// Sets how allocations map to devices for subsequent charges.
-  void SetAllocPolicy(AllocPolicy policy) { policy_ = policy; }
+  void SetAllocPolicy(AllocPolicy policy) {
+    policy_ = policy;
+    EnsureMemoryModeTags();
+  }
   AllocPolicy alloc_policy() const { return policy_; }
 
   /// Sets the NUMA placement of the graph region.
@@ -191,6 +209,7 @@ class CostModel {
   /// to shrink the slowdown while preserving relative shape).
   void SetThrottle(bool enabled, double scale = 1.0);
   bool throttle_enabled() const { return throttle_enabled_; }
+  double throttle_scale() const { return throttle_scale_; }
 
   /// Zeroes all counters.
   void ResetCounters();
@@ -225,11 +244,9 @@ class CostModel {
     double paid_ns = 0.0;  // emulated latency already stalled off
   };
 
-  CostModel();
-
   Shard& LocalShard() {
-    int id = Scheduler::worker_id();
-    return shards_[id >= 0 && id < Scheduler::kMaxWorkers ? id : 0];
+    int id = Scheduler::shard_id();
+    return shards_[id >= 0 && id < Scheduler::kMaxShards ? id : 0];
   }
 
   void ChargeNvramRead(Shard& s, uint64_t words, uint64_t addr_hint);
@@ -238,21 +255,39 @@ class CostModel {
                         bool is_write);
   void MaybeThrottle(Shard& s);
 
+  /// (Re)allocates the per-model MemoryMode tag array when the policy can
+  /// reach the cache simulator. Called from the setters, which run during
+  /// single-threaded setup, so charging never observes a resize.
+  void EnsureMemoryModeTags();
+
   EmulationConfig config_;
   AllocPolicy policy_ = AllocPolicy::kGraphNvram;
   GraphLayout graph_layout_ = GraphLayout::kReplicated;
   GraphResidence graph_residence_ = GraphResidence::kPolicy;
   bool throttle_enabled_ = false;
   double throttle_scale_ = 1.0;
-  Shard shards_[Scheduler::kMaxWorkers];
+  /// Direct-mapped tag array for the MemoryMode cache simulator, one per
+  /// model so concurrent runs never thrash each other's simulated cache.
+  /// Tags are relaxed atomics: workers of one run race benignly on the
+  /// statistical hit rate without racing on memory.
+  std::unique_ptr<std::atomic<uint64_t>[]> memory_mode_tags_;
+  size_t memory_mode_tag_lines_ = 0;
+  Shard shards_[Scheduler::kMaxShards];
 };
 
-/// RAII scope that resets counters on entry and exposes the delta.
+/// The cost model of the calling thread's current ExecutionContext: the
+/// per-run model inside an engine run (wherever its work is executing), the
+/// process-wide default context's model otherwise. Defined in
+/// execution_context.cc.
+CostModel& Cost();
+
+/// RAII scope over the *current* context's counters, exposing the delta
+/// charged since construction.
 class CostScope {
  public:
-  CostScope() { start_ = CostModel::Get().Totals(); }
+  CostScope() { start_ = Cost().Totals(); }
   /// Accesses charged since construction.
-  CostTotals Delta() const { return CostModel::Get().Totals() - start_; }
+  CostTotals Delta() const { return Cost().Totals() - start_; }
 
  private:
   CostTotals start_;

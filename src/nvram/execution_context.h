@@ -1,0 +1,99 @@
+// ExecutionContext: the per-run execution state of the engine.
+//
+// An ExecutionContext owns everything one query charges while it runs: a
+// CostModel instance (PSAM counters + device configuration: policy, omega,
+// NUMA layout, graph residence, MemoryMode cache, throttle) and a
+// MemoryTracker instance (peak intermediate DRAM). AlgorithmRegistry::Run
+// builds one per run, binds it to the calling thread with
+// ScopedExecutionContext, and reads the run's counters and peak from it
+// afterwards - nothing process-wide is mutated or restored, which is what
+// lets any number of runs execute concurrently over one shared graph with
+// exact per-run accounting.
+//
+// Propagation: binding a context stores its address as the scheduler's
+// thread-local task tag. Every job forked while the tag is bound carries it
+// to whichever worker executes the job (work stealing and
+// help-while-waiting included), and Current() resolves the tag back to the
+// context. Charging code therefore always reaches the model of the query
+// whose work it is executing:
+//
+//     nvram::Cost().ChargeGraphRead(words, addr);   // the running query's
+//     nvram::Memory().Allocate(bytes);              // counters, wherever
+//                                                   // this thread is
+//
+// Outside any run - unit tests charging directly, benchmark phases,
+// examples - Current() falls back to Default(), a process-wide context
+// with the paper's configuration. Runs inherit Default()'s device state
+// (InheritDeviceState) so "configure the ambient device, then run" keeps
+// working; they simply stop writing back through it.
+//
+// Lifetime: a context must outlive every structure charged against it.
+// The registry guarantees this for engine runs (outputs carry no tracked
+// allocations); custom drivers binding their own contexts must keep the
+// context alive until tracked structures (VertexSubset, GraphFilter) are
+// destroyed.
+#pragma once
+
+#include "nvram/cost_model.h"
+#include "nvram/memory_tracker.h"
+#include "parallel/scheduler.h"
+
+namespace sage::nvram {
+
+/// Per-run execution state: one cost model + one memory tracker.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  SAGE_DISALLOW_COPY_AND_ASSIGN(ExecutionContext);
+
+  /// Copies the device configuration (emulation config, policy, layout,
+  /// residence, throttle) from `from`; counters stay at zero.
+  void InheritDeviceState(const ExecutionContext& from) {
+    const CostModel& src = from.cost_model();
+    cost_model_.SetConfig(src.config());
+    cost_model_.SetAllocPolicy(src.alloc_policy());
+    cost_model_.SetGraphLayout(src.graph_layout());
+    cost_model_.SetGraphResidence(src.graph_residence());
+    cost_model_.SetThrottle(src.throttle_enabled(), src.throttle_scale());
+  }
+
+  CostModel& cost_model() { return cost_model_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  MemoryTracker& memory_tracker() { return memory_tracker_; }
+  const MemoryTracker& memory_tracker() const { return memory_tracker_; }
+
+  /// The context the calling thread is executing under: the bound context
+  /// of the task this worker is running, else Default().
+  static ExecutionContext& Current();
+
+  /// The bound context, or nullptr when the thread is outside any run.
+  static ExecutionContext* CurrentOrNull();
+
+  /// Process-wide fallback context. Tests, benchmarks, and examples that
+  /// charge outside an engine run account here; engine runs inherit its
+  /// device state but never write back to it.
+  static ExecutionContext& Default();
+
+ private:
+  CostModel cost_model_;
+  MemoryTracker memory_tracker_;
+};
+
+/// RAII binding of an ExecutionContext to the calling thread (and, through
+/// the scheduler's task tags, to every job forked while bound). Restores
+/// the previous binding on destruction; nests.
+class ScopedExecutionContext {
+ public:
+  explicit ScopedExecutionContext(ExecutionContext& context)
+      : previous_(Scheduler::task_tag()) {
+    Scheduler::set_task_tag(&context);
+  }
+  ~ScopedExecutionContext() { Scheduler::set_task_tag(previous_); }
+
+  SAGE_DISALLOW_COPY_AND_ASSIGN(ScopedExecutionContext);
+
+ private:
+  void* previous_;
+};
+
+}  // namespace sage::nvram

@@ -5,6 +5,14 @@
 // edgeMapSparse / edgeMapBlocked / edgeMapChunked. Sage structures report
 // their DRAM allocations here explicitly, which keeps the measurement
 // deterministic (no allocator hooks) and lets tests assert the O(n) bound.
+//
+// A MemoryTracker is per-ExecutionContext (execution_context.h), not
+// process-wide: each engine run starts from zero live bytes and its
+// RunReport::peak_intermediate_bytes is exactly that run's high-water mark,
+// even when other runs allocate concurrently. Structures reach the current
+// context's tracker through nvram::Memory(); a TrackedAllocation pins the
+// tracker it charged so late destruction (after the run's scope unwinds)
+// still balances the right books.
 #pragma once
 
 #include <atomic>
@@ -15,13 +23,12 @@
 
 namespace sage::nvram {
 
-/// Process-wide tracker of explicitly reported DRAM allocations.
+/// Tracker of explicitly reported DRAM allocations, one per
+/// ExecutionContext.
 class MemoryTracker {
  public:
-  static MemoryTracker& Get() {
-    static MemoryTracker tracker;
-    return tracker;
-  }
+  MemoryTracker() = default;
+  SAGE_DISALLOW_COPY_AND_ASSIGN(MemoryTracker);
 
   /// Records an allocation of `bytes` and updates the peak.
   void Allocate(size_t bytes) {
@@ -54,37 +61,46 @@ class MemoryTracker {
   }
 
  private:
-  MemoryTracker() = default;
   std::atomic<uint64_t> current_{0};
   std::atomic<uint64_t> peak_{0};
 };
 
-/// RAII allocation report: pairs an Allocate with its Free. Movable so that
-/// owning structures (VertexSubset, GraphFilter) stay movable.
+/// The memory tracker of the calling thread's current ExecutionContext:
+/// the per-run tracker inside an engine run, the process-wide default
+/// context's tracker otherwise. Defined in execution_context.cc.
+MemoryTracker& Memory();
+
+/// RAII allocation report: pairs an Allocate with its Free against the
+/// tracker that was current at construction. Movable so that owning
+/// structures (VertexSubset, GraphFilter) stay movable and charge
+/// correctly even when destroyed after their run's context scope exits.
 class TrackedAllocation {
  public:
-  explicit TrackedAllocation(size_t bytes) : bytes_(bytes) {
-    MemoryTracker::Get().Allocate(bytes_);
+  explicit TrackedAllocation(size_t bytes)
+      : tracker_(&Memory()), bytes_(bytes) {
+    tracker_->Allocate(bytes_);
   }
-  TrackedAllocation(TrackedAllocation&& o) noexcept : bytes_(o.bytes_) {
+  TrackedAllocation(TrackedAllocation&& o) noexcept
+      : tracker_(o.tracker_), bytes_(o.bytes_) {
     o.bytes_ = 0;
   }
   TrackedAllocation& operator=(TrackedAllocation&& o) noexcept {
     if (this != &o) {
-      MemoryTracker::Get().Free(bytes_);
+      tracker_->Free(bytes_);
+      tracker_ = o.tracker_;
       bytes_ = o.bytes_;
       o.bytes_ = 0;
     }
     return *this;
   }
-  ~TrackedAllocation() { MemoryTracker::Get().Free(bytes_); }
+  ~TrackedAllocation() { tracker_->Free(bytes_); }
 
   /// Grows or shrinks the reported size (for resizable buffers).
   void Resize(size_t new_bytes) {
     if (new_bytes > bytes_) {
-      MemoryTracker::Get().Allocate(new_bytes - bytes_);
+      tracker_->Allocate(new_bytes - bytes_);
     } else {
-      MemoryTracker::Get().Free(bytes_ - new_bytes);
+      tracker_->Free(bytes_ - new_bytes);
     }
     bytes_ = new_bytes;
   }
@@ -94,6 +110,7 @@ class TrackedAllocation {
   TrackedAllocation& operator=(const TrackedAllocation&) = delete;
 
  private:
+  MemoryTracker* tracker_;
   size_t bytes_;
 };
 

@@ -11,8 +11,17 @@ namespace sage {
 /// Number of workers in the current pool (>= 1, includes the main thread).
 inline int num_workers() { return Scheduler::Get().num_workers(); }
 
-/// Id of the calling worker in [0, num_workers()).
+/// Id of the calling worker in [0, num_workers()). Every foreign thread
+/// (main, query sessions) reports 0, so per-thread scratch must NOT index
+/// by this under concurrent engine runs - use shard_id().
 inline int worker_id() { return Scheduler::worker_id(); }
+
+/// Unique per-thread slot in [0, Scheduler::kMaxShards) for per-thread
+/// scratch (size arrays by Scheduler::kMaxShards). Unlike worker_id(),
+/// two concurrent driver/session threads never share a slot, so scratch
+/// stays race-free when one run's jobs execute on another run's blocked
+/// thread (help-while-waiting).
+inline int shard_id() { return Scheduler::shard_id(); }
 
 /// Runs `left` and `right` as a fork-join pair, potentially in parallel.
 template <typename L, typename R>

@@ -26,10 +26,10 @@ namespace internal {
 /// kMemoryMode the same temporaries pay NVRAM costs - the mechanism behind
 /// the paper's 6.69x libvmmalloc slowdown (Figure 7).
 inline void ChargePrimitiveRead(uint64_t words) {
-  nvram::CostModel::Get().ChargeWorkRead(words);
+  nvram::Cost().ChargeWorkRead(words);
 }
 inline void ChargePrimitiveWrite(uint64_t words) {
-  nvram::CostModel::Get().ChargeWorkWrite(words);
+  nvram::Cost().ChargeWorkWrite(words);
 }
 
 inline size_t BlockSize(size_t n) {

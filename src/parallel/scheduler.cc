@@ -2,10 +2,72 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <vector>
 
 namespace sage {
 
 thread_local int Scheduler::worker_id_ = 0;
+thread_local int Scheduler::shard_id_ = -1;
+thread_local void* Scheduler::task_tag_ = nullptr;
+
+namespace {
+
+// Lease pool for foreign shard slots: slots are handed out from
+// [kMaxWorkers, kMaxShards) and returned when the leasing thread exits, so
+// long-lived processes that churn driver threads never run out. If more
+// than kForeignSlots foreign threads are alive at once, the overflow
+// threads alias the top slot (their per-thread counters may then race;
+// per-thread sharded structures stay memory-safe because every slot is in
+// range).
+struct ForeignSlotPool {
+  std::mutex mu;
+  std::vector<int> returned;
+  int next = Scheduler::kMaxWorkers;
+
+  int Acquire(bool* owned) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!returned.empty()) {
+      int slot = returned.back();
+      returned.pop_back();
+      *owned = true;
+      return slot;
+    }
+    if (next < Scheduler::kMaxShards - 1) {
+      *owned = true;
+      return next++;
+    }
+    *owned = false;  // exhausted: alias the top slot, never recycle it
+    return Scheduler::kMaxShards - 1;
+  }
+
+  void Release(int slot) {
+    std::lock_guard<std::mutex> lock(mu);
+    returned.push_back(slot);
+  }
+};
+
+ForeignSlotPool& Slots() {
+  static ForeignSlotPool* pool = new ForeignSlotPool();
+  return *pool;
+}
+
+// Thread-local lease: acquired on a thread's first shard_id() call,
+// returned when the thread exits.
+struct ForeignSlotLease {
+  int slot;
+  bool owned;
+  ForeignSlotLease() { slot = Slots().Acquire(&owned); }
+  ~ForeignSlotLease() {
+    if (owned) Slots().Release(slot);
+  }
+};
+
+}  // namespace
+
+int Scheduler::AcquireForeignSlot() {
+  static thread_local ForeignSlotLease lease;
+  return lease.slot;
+}
 
 namespace {
 
@@ -115,6 +177,7 @@ void Scheduler::WaitFor(Job* job) {
 
 void Scheduler::WorkerLoop(int id) {
   worker_id_ = id;
+  shard_id_ = id;
   int idle_rounds = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     Job* job = TrySteal(id);

@@ -268,9 +268,10 @@ TEST(AlgorithmRegistry, CountersMatchDirectCallPath) {
   };
   ASSERT_EQ(direct.size(), AlgorithmRegistry::Get().size());
 
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   for (const auto& [name, fn] : direct) {
-    // Old path: configure singletons, reset, run, read totals.
+    // Old path: configure the ambient (default) context, reset, run, read
+    // totals.
     cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
     cm.ResetCounters();
     fn(g, gw);
@@ -337,7 +338,7 @@ TEST(AlgorithmRegistry, SourceOutOfRangeIsInvalidArgument) {
 
 TEST(AlgorithmRegistry, RunRestoresDeviceConfiguration) {
   Graph g = TestGraph();
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kAllDram);
   auto cfg = cm.config();
   cfg.omega = 2.5;

@@ -26,7 +26,7 @@ TEST(PackedGraph, PackVertexCompactsInPlace) {
 }
 
 TEST(PackedGraph, PackingChargesGraphWrites) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(9, 8000, 3);
   cm.ResetCounters();
@@ -47,7 +47,7 @@ TEST(GbbsBaselines, MaximalMatchingIsMaximal) {
 }
 
 TEST(GbbsBaselines, WritesNvramWhereSageDoesNot) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(9, 10000, 5);
   cm.ResetCounters();
@@ -89,7 +89,7 @@ TEST(GridEngine, PageRankIterationMatchesReference) {
 TEST(GridEngine, StreamsMoreThanSageReads) {
   // The engine re-streams whole blocks per superstep: its slow-tier traffic
   // must exceed a single pass over the edges for multi-round algorithms.
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = GridGraph(40, 40);  // high diameter => many supersteps
   GridEngine grid(g, 8);

@@ -229,7 +229,7 @@ TEST(BenchContext, MeasureFnRunsWarmupPlusRepetitionsAndFramesCounters) {
   int calls = 0;
   BenchRecord r = ctx.MeasureFn("row", [&] {
     ++calls;
-    nvram::CostModel::Get().ChargeWorkRead(10);
+    nvram::Cost().ChargeWorkRead(10);
   });
   EXPECT_EQ(calls, 5);  // 2 warmup + 3 timed
   EXPECT_EQ(r.wall.count, 3u);

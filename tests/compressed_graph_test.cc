@@ -84,7 +84,7 @@ TEST(CompressedGraph, CompressesRealisticGraphs) {
 TEST(CompressedGraph, ChargesFewerNvramWordsThanUncompressed) {
   Graph g = RmatGraph(12, 80000, 17);
   CompressedGraph cg = CompressedGraph::FromGraph(g, 64);
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
 
   cm.ResetCounters();

@@ -226,7 +226,7 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& tpinfo) { return tpinfo.param.name; });
 
 TEST(ConnectivityCosts, NoNvramWrites) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(10, 15000, 2);
   cm.ResetCounters();

@@ -135,7 +135,7 @@ TEST(SetCover, StarIsCoveredByCenterAndOneLeaf) {
 }
 
 TEST(CoveringCosts, NoNvramWrites) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(9, 8000, 13);
   cm.ResetCounters();

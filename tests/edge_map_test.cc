@@ -178,7 +178,7 @@ uint64_t PeakDuringFullStep(const Graph& g, SparseVariant variant) {
   });
   auto frontier = VertexSubset::Sparse(n, std::move(ids));
   ChunkPool::DrainAll();  // reset pooled chunks between measurements
-  auto& mt = nvram::MemoryTracker::Get();
+  auto& mt = nvram::Memory();
   mt.ResetPeak();
   uint64_t before = mt.CurrentBytes();
   BfsFunctor f{parents};
@@ -201,7 +201,7 @@ TEST(EdgeMapMemory, ChunkedUsesLessIntermediateMemoryThanSparse) {
 }
 
 TEST(EdgeMapCosts, TraversalNeverWritesNvram) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(10, 20000, 5);
   cm.ResetCounters();

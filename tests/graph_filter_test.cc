@@ -114,7 +114,7 @@ TEST(GraphFilter, DirtyBitsMarkTargetsOfDeletedEdges) {
 }
 
 TEST(GraphFilter, NeverWritesNvram) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(10, 20000, 7);
   cm.ResetCounters();

@@ -87,7 +87,7 @@ TEST(Graph, ReduceNeighborsSums) {
 }
 
 TEST(Graph, ChargesCostModelOnReads) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = CompleteGraph(10);
   cm.ResetCounters();

@@ -134,7 +134,7 @@ TEST_P(IntegrationGraphs, TriangleCountAgreesAcrossRepresentations) {
 }
 
 TEST_P(IntegrationGraphs, FullPipelineNeverWritesNvram) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = MakeGraph();
   Graph gw = AddRandomWeights(g, 5);

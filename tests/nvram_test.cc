@@ -12,7 +12,7 @@ namespace {
 class CostModelTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    auto& cm = CostModel::Get();
+    auto& cm = Cost();
     cm.SetConfig(EmulationConfig{});
     cm.SetAllocPolicy(AllocPolicy::kGraphNvram);
     cm.SetGraphLayout(GraphLayout::kReplicated);
@@ -22,7 +22,7 @@ class CostModelTest : public ::testing::Test {
 };
 
 TEST_F(CostModelTest, GraphNvramPolicyChargesNvramReads) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.ChargeGraphRead(10);
   cm.ChargeWorkRead(5);
   cm.ChargeWorkWrite(3);
@@ -34,13 +34,13 @@ TEST_F(CostModelTest, GraphNvramPolicyChargesNvramReads) {
 }
 
 TEST_F(CostModelTest, GraphWriteChargesNvramWrites) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.ChargeGraphWrite(7);
   EXPECT_EQ(cm.Totals().nvram_writes, 7u);
 }
 
 TEST_F(CostModelTest, AllDramPolicyNeverTouchesNvram) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.SetAllocPolicy(AllocPolicy::kAllDram);
   cm.ChargeGraphRead(10);
   cm.ChargeGraphWrite(10);
@@ -54,7 +54,7 @@ TEST_F(CostModelTest, AllDramPolicyNeverTouchesNvram) {
 }
 
 TEST_F(CostModelTest, AllNvramPolicyChargesEverythingToNvram) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.SetAllocPolicy(AllocPolicy::kAllNvram);
   cm.ChargeWorkRead(4);
   cm.ChargeWorkWrite(6);
@@ -74,7 +74,7 @@ TEST_F(CostModelTest, PsamCostWeighsWritesByOmega) {
 }
 
 TEST_F(CostModelTest, MemoryModeCachesRepeatedAccesses) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.SetAllocPolicy(AllocPolicy::kMemoryMode);
   cm.ResetCounters();
   // First touch misses, second touch of the same address hits.
@@ -88,7 +88,7 @@ TEST_F(CostModelTest, MemoryModeCachesRepeatedAccesses) {
 }
 
 TEST_F(CostModelTest, MemoryModeEvictsOnConflict) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.SetAllocPolicy(AllocPolicy::kMemoryMode);
   cm.ResetCounters();
   const auto& cfg = cm.config();
@@ -102,7 +102,7 @@ TEST_F(CostModelTest, MemoryModeEvictsOnConflict) {
 }
 
 TEST_F(CostModelTest, InterleavedLayoutMarksRemoteAccesses) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.SetGraphLayout(GraphLayout::kInterleaved);
   cm.ResetCounters();
   // Touch many distinct lines; with >1 emulated socket roughly the lines on
@@ -118,7 +118,7 @@ TEST_F(CostModelTest, InterleavedLayoutMarksRemoteAccesses) {
 }
 
 TEST_F(CostModelTest, ReplicatedLayoutHasNoRemoteAccesses) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.ResetCounters();
   for (uint64_t line = 0; line < 100; ++line) {
     cm.ChargeGraphRead(1, line * 32);
@@ -127,7 +127,7 @@ TEST_F(CostModelTest, ReplicatedLayoutHasNoRemoteAccesses) {
 }
 
 TEST_F(CostModelTest, EmulatedNanosReflectsAsymmetry) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   CostTotals reads;
   reads.nvram_reads = 1000;
   CostTotals writes;
@@ -138,14 +138,14 @@ TEST_F(CostModelTest, EmulatedNanosReflectsAsymmetry) {
 }
 
 TEST_F(CostModelTest, ShardedCountersSumAcrossThreads) {
-  auto& cm = CostModel::Get();
+  auto& cm = Cost();
   cm.ResetCounters();
   parallel_for(0, 1000, [&](size_t) { cm.ChargeGraphRead(1); }, 1);
   EXPECT_EQ(cm.Totals().nvram_reads, 1000u);
 }
 
 TEST(MemoryTracker, TracksCurrentAndPeak) {
-  auto& mt = MemoryTracker::Get();
+  auto& mt = Memory();
   mt.ResetPeak();
   uint64_t base = mt.CurrentBytes();
   {
@@ -162,7 +162,7 @@ TEST(MemoryTracker, TracksCurrentAndPeak) {
 }
 
 TEST(MemoryTracker, ResizeAdjustsReportedSize) {
-  auto& mt = MemoryTracker::Get();
+  auto& mt = Memory();
   uint64_t base = mt.CurrentBytes();
   TrackedAllocation a(100);
   a.Resize(400);

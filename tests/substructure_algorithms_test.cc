@@ -183,7 +183,7 @@ TEST(PageRankIteration, IsExactlyOneIteration) {
 }
 
 TEST(SubstructureCosts, NoNvramWrites) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = RmatGraph(9, 10000, 5);
   cm.ResetCounters();

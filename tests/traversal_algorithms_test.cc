@@ -130,7 +130,7 @@ TEST(Traversal, MultipleSourcesSweep) {
 }
 
 TEST(Traversal, NoNvramWritesAcrossAllTraversals) {
-  auto& cm = nvram::CostModel::Get();
+  auto& cm = nvram::Cost();
   cm.SetAllocPolicy(nvram::AllocPolicy::kGraphNvram);
   Graph g = AddRandomWeights(RmatGraph(9, 8000, 3), 1);
   cm.ResetCounters();

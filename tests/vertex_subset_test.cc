@@ -66,7 +66,7 @@ TEST(VertexSubset, MapVisitsAllMembersOnce) {
 }
 
 TEST(VertexSubset, MemoryIsTracked) {
-  auto& mt = nvram::MemoryTracker::Get();
+  auto& mt = nvram::Memory();
   uint64_t before = mt.CurrentBytes();
   {
     auto s = VertexSubset::Sparse(1 << 20, std::vector<vertex_id>(1000, 1));
