@@ -5,15 +5,20 @@
 // image is mmap-ed and used in place, which is the paper's semi-external
 // setup (the NVRAM-resident graph is opened, not ingested). Reported per
 // loader: open/parse time, then first-traversal time for a few registered
-// algorithms (the mmap path pays its page-ins here, so first-touch cost is
-// visible rather than hidden), plus the end-to-end time to the first BFS
-// result. The acceptance bar: binary open at least 10x faster than text
-// parse at bench scale.
+// algorithms, plus the end-to-end time to the first BFS result. Those
+// per-loader traversals run against a *warm* page cache (the image was just
+// written and validated) and are labeled so; the genuinely cold story is in
+// the separate "cold mmap bfs" rows, which evict the image from DRAM
+// (EvictGraphPages: page tables + page cache) before each traversal and
+// measure the first-touch fault cost with the page-frontier prefetch
+// pipeline off and on. Acceptance bars: binary open at least 10x faster
+// than text parse at bench scale, and prefetch-on cutting cold wall time.
 #include <cstdio>
 #include <functional>
 #include <string>
 
 #include "bench_common.h"
+#include "graph/prefetch.h"
 
 namespace sage::bench {
 
@@ -84,6 +89,10 @@ SAGE_BENCHMARK(load_binary,
     // would hide exactly the cost this bench exists to show).
     r.repetitions = 1;
     r.warmup = 0;
+    // The image was just written and (for mmap) validated end to end, so
+    // these traversals never page-fault against storage: warm rows. Cold
+    // first-touch cost is measured by the eviction rows below.
+    r.AddConfig("page_cache", "warm");
     r.wall = BenchStats::FromSamples({loaded.open_seconds});
     r.AddMetric("open_seconds", loaded.open_seconds);
     RunContext rctx;  // Sage-NVRAM defaults
@@ -94,9 +103,52 @@ SAGE_BENCHMARK(load_binary,
       SAGE_CHECK_MSG(run.ok(), "%s", run.status().ToString().c_str());
       double seconds = t.Seconds();
       if (std::string(algo) == "bfs") first_bfs = seconds;
-      r.AddMetric(std::string(algo) + "_first_seconds", seconds);
+      r.AddMetric(std::string(algo) + "_warm_seconds", seconds);
     }
-    r.AddMetric("open_plus_first_bfs", loaded.open_seconds + first_bfs);
+    r.AddMetric("open_plus_warm_bfs", loaded.open_seconds + first_bfs);
+    ctx.Report(std::move(r));
+  }
+
+  // Cold traversal rows: map the image, evict it from DRAM entirely (page
+  // tables and page cache), then pay the first-touch faults in one BFS -
+  // without and with the page-frontier prefetch pipeline. One shot each:
+  // repetition would re-warm exactly the cost being measured.
+  double cold_off = 0.0, cold_on = 0.0;
+  for (bool prefetch_on : {false, true}) {
+    auto mapped = MapBinaryGraph(binary_path);
+    SAGE_CHECK_MSG(mapped.ok(), "%s", mapped.status().ToString().c_str());
+    Graph cg = mapped.TakeValue();
+    Status evicted = EvictGraphPages(cg, binary_path);
+    SAGE_CHECK_MSG(evicted.ok(), "%s", evicted.ToString().c_str());
+    auto storage = cg.storage();
+    const double resident_before = static_cast<double>(
+        storage->CountResidentPages(0, storage->MappingBytes()));
+
+    RunContext rctx;
+    rctx.prefetch.enabled = prefetch_on;
+    Timer t;
+    auto run = AlgorithmRegistry::Run("bfs", cg, rctx);
+    SAGE_CHECK_MSG(run.ok(), "%s", run.status().ToString().c_str());
+    const double seconds = t.Seconds();
+    (prefetch_on ? cold_on : cold_off) = seconds;
+    const RunReport& report = run.ValueOrDie();
+
+    BenchRecord r = ctx.NewRecord(prefetch_on ? "cold mmap bfs (prefetch on)"
+                                              : "cold mmap bfs (prefetch off)");
+    r.repetitions = 1;
+    r.warmup = 0;
+    r.AddConfig("page_cache", "cold");
+    r.AddConfig("prefetch", prefetch_on ? "on" : "off");
+    r.wall = BenchStats::FromSamples({seconds});
+    r.has_counters = true;
+    r.counters = report.cost;
+    r.omega = report.omega;
+    r.peak_intermediate_bytes = report.peak_intermediate_bytes;
+    r.AddMetric("resident_pages_before", resident_before);
+    r.AddMetric("prefetch_waves", static_cast<double>(report.prefetch_waves));
+    r.AddMetric("pages_prefetched",
+                static_cast<double>(report.pages_prefetched));
+    r.AddMetric("pages_faulted", static_cast<double>(report.pages_faulted));
     ctx.Report(std::move(r));
   }
 
@@ -104,6 +156,9 @@ SAGE_BENCHMARK(load_binary,
             text_open / mmap_open,
             text_open / mmap_open >= 10.0 ? "(>= 10x target met)"
                                           : "(below 10x target!)");
+  ctx.NoteF("cold mmap bfs: %.3fs prefetch off, %.3fs prefetch on (%+.1f%%)",
+            cold_off, cold_on,
+            cold_off > 0.0 ? (cold_on - cold_off) / cold_off * 100.0 : 0.0);
   std::remove(text_path.c_str());
   std::remove(binary_path.c_str());
 }

@@ -55,7 +55,8 @@ void PrintUsage() {
   std::printf(
       "usage: sage_cli -algo <name> [-graph file [-weighted] | -gen "
       "rmat|uniform|grid -logn N -edges M] [-src V]\n"
-      "                [-policy %s] [-threads T] [-omega W] [-json]\n"
+      "                [-policy %s] [-threads T] [-omega W] [-prefetch] "
+      "[-json]\n"
       "       sage_cli [-graph file | -gen ...] -convert out.bsadj|out.adj\n"
       "algorithms:",
       AllocPolicyChoices());
@@ -125,6 +126,8 @@ int main(int argc, char** argv) {
   ctx.policy = policy.ValueOrDie();
   ctx.omega = cmd.GetDouble("omega", ctx.omega);
   ctx.num_threads = static_cast<int>(cmd.GetInt("threads", 0));
+  // Page-frontier prefetching; only effective with a mapped .bsadj graph.
+  ctx.prefetch.enabled = cmd.Has("prefetch");
   // Apply the thread budget before loading so generation/building honor it
   // too (the run itself would apply it, but only after the graph exists).
   if (ctx.num_threads > 0) Scheduler::Reset(ctx.num_threads);

@@ -112,6 +112,14 @@ def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
             )
     for k in extra:
         warnings.append(f"fresh record not in baseline (new row?): {k[0]}/{k[1]}")
+    if extra:
+        # The per-row lines scroll away in CI logs; one closing line makes
+        # ungated coverage visible and says how to adopt it.
+        warnings.append(
+            f"{len(extra)} new/unmatched fresh row(s) are not gated by this "
+            f"baseline — if intentional, refresh it with "
+            f"scripts/run_bench.sh --baseline"
+        )
     if not overlap:
         regressions.append(
             "no overlapping records between fresh and baseline "
@@ -303,7 +311,17 @@ def self_test():
 
     ok, _, warns, _ = compare(
         make_doc([make_record(), make_record(threads=4)]), base)
-    check("extra fresh records only warn", ok and len(warns) == 1)
+    check("extra fresh records only warn",
+          ok and sum("not in baseline" in w for w in warns) == 1)
+    check("extra fresh records get an unmatched-rows summary",
+          any("new/unmatched" in w and "1 " in w for w in warns))
+
+    ok, _, warns, _ = compare(
+        make_doc([make_record(),
+                  make_record(threads=4),
+                  make_record(label="brand-new")]), base)
+    check("unmatched-rows summary counts every extra row",
+          ok and any("2 new/unmatched" in w for w in warns))
 
     sweep_base = make_doc([make_record(), make_record(threads=4)])
     ok, _, warns, _ = compare(make_doc([make_record()]), sweep_base)

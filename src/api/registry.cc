@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "graph/builder.h"
+#include "graph/prefetch.h"
 #include "nvram/execution_context.h"
 #include "parallel/parallel.h"
 
@@ -191,14 +192,37 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
                            ? nvram::GraphResidence::kMappedNvram
                            : nvram::GraphResidence::kPolicy);
 
+  // Per-run prefetch pipeline: built only when the context asks for it and
+  // the input is a mapped image (in-memory graphs have no pages to advise).
+  // Declared after `exec` so its advice thread is joined before the cost
+  // model it charges is destroyed. The runner sees it through a private
+  // copy of the context; the caller's RunContext is never mutated.
+  std::unique_ptr<Prefetcher> prefetcher;
+  RunContext run_ctx = ctx;
+  run_ctx.edge_map.prefetcher = nullptr;
+  if (ctx.prefetch.enabled && g.nvram_resident()) {
+    prefetcher = std::make_unique<Prefetcher>(g, ctx.prefetch, &cm);
+    if (prefetcher->active()) run_ctx.edge_map.prefetcher = prefetcher.get();
+  }
+
   RunReport report;
   {
     // Bind the context to this thread; the scheduler's task tags carry it
     // to every worker that executes this run's forked work.
     nvram::ScopedExecutionContext scope(exec);
     Timer timer;
-    report.output = entry->runner(g, *gw, ctx, params);
+    report.output = entry->runner(g, *gw, run_ctx, params);
     report.wall_seconds = timer.Seconds();
+  }
+  if (prefetcher != nullptr) {
+    // Settle the advice thread's in-flight charges before snapshotting the
+    // counters, and surface the pipeline's page accounting in the report.
+    prefetcher->Drain();
+    const PrefetchStats pstats = prefetcher->stats();
+    report.prefetch_enabled = prefetcher->active();
+    report.prefetch_waves = pstats.waves;
+    report.pages_prefetched = pstats.pages_prefetched;
+    report.pages_faulted = pstats.pages_faulted;
   }
   report.cost = cm.Totals();
   report.peak_intermediate_bytes = exec.memory_tracker().PeakBytes();

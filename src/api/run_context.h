@@ -52,6 +52,13 @@ struct RunContext {
   int num_threads = 0;
   /// EdgeMap traversal options threaded into every frontier-based kernel.
   EdgeMapOptions edge_map;
+  /// Page-frontier prefetch pipeline (graph/prefetch.h). Off by default;
+  /// only takes effect when the run's graph is an mmap-ed .bsadj image -
+  /// the registry builds a per-run Prefetcher and threads it through
+  /// edge_map.prefetcher for the duration of the run. edge_map.prefetcher
+  /// itself is reserved for the registry: submitters configure prefetch
+  /// here, not by installing their own pipeline.
+  PrefetchOptions prefetch;
 
   /// Snapshots the calling thread's ambient device state (the current
   /// ExecutionContext's - normally Default()'s) into a context, for

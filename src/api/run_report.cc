@@ -23,6 +23,11 @@ std::string RunReport::ToJson() const {
   j += "  \"psam_cost\": " + Double(PsamCost()) + ",\n";
   j += "  \"peak_intermediate_bytes\": " + U64(peak_intermediate_bytes) +
        ",\n";
+  j += "  \"prefetch_enabled\": " +
+       std::string(prefetch_enabled ? "true" : "false") + ",\n";
+  j += "  \"prefetch_waves\": " + U64(prefetch_waves) + ",\n";
+  j += "  \"pages_prefetched\": " + U64(pages_prefetched) + ",\n";
+  j += "  \"pages_faulted\": " + U64(pages_faulted) + ",\n";
   j += "  \"counters\": " + cost.ToJson() + "\n";
   j += "}";
   return j;
@@ -43,6 +48,15 @@ std::string RunReport::ToString() const {
   std::snprintf(buf, sizeof(buf), "dram-peak: %llu intermediate bytes\n",
                 static_cast<unsigned long long>(peak_intermediate_bytes));
   s += buf;
+  if (prefetch_enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "prefetch: %llu waves, %llu pages prefetched, "
+                  "%llu left to fault\n",
+                  static_cast<unsigned long long>(prefetch_waves),
+                  static_cast<unsigned long long>(pages_prefetched),
+                  static_cast<unsigned long long>(pages_faulted));
+    s += buf;
+  }
   return s;
 }
 

@@ -68,6 +68,17 @@ struct RunReport {
   /// tracker, which starts at zero, so concurrent runs report their own
   /// peaks.
   uint64_t peak_intermediate_bytes = 0;
+  /// True when the page-frontier prefetch pipeline (graph/prefetch.h) was
+  /// active for the run (RunContext::prefetch.enabled on a mapped graph).
+  bool prefetch_enabled = false;
+  /// EdgeMap rounds whose page frontier was handed to the advice thread.
+  uint64_t prefetch_waves = 0;
+  /// Pages the pipeline advised that were non-resident (reads it initiated
+  /// ahead of compute; also charged as cost.nvram_prefetch_reads).
+  uint64_t pages_prefetched = 0;
+  /// Page-frontier pages left to the synchronous fault path (dropped by
+  /// the wave budget or queue overflow).
+  uint64_t pages_faulted = 0;
 
   /// PSAM work of the run: dram + nvram_reads + omega * nvram_writes.
   double PsamCost() const { return cost.PsamCost(omega); }

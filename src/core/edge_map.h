@@ -29,6 +29,7 @@
 #include "core/vertex_subset.h"
 #include "graph/compressed_graph.h"
 #include "graph/graph.h"
+#include "graph/prefetch.h"
 #include "nvram/cost_model.h"
 #include "nvram/memory_tracker.h"
 #include "parallel/parallel.h"
@@ -66,8 +67,16 @@ enum class TraversalMode : uint8_t {
 struct EdgeMapOptions {
   SparseVariant sparse_variant = SparseVariant::kChunked;
   TraversalMode mode = TraversalMode::kAuto;
-  /// Switch to dense when |U| + deg(U) > m / dense_threshold_den.
+  /// Switch to dense when |U| + deg(U) > m / dense_threshold_den. The
+  /// direction optimizer only engages once m >= dense_threshold_den; tiny
+  /// graphs stay on the sparse path (the truncated threshold would
+  /// otherwise send nearly every frontier dense). 0 is treated as 1.
   size_t dense_threshold_den = 20;
+  /// Page-frontier prefetch pipeline for mapped graphs (graph/prefetch.h).
+  /// When set and covering `g`, each round's frontier is enqueued before
+  /// traversal so madvise(MADV_WILLNEED) advice runs one wave ahead of
+  /// compute. Not owned; may be null (the default - no prefetch).
+  Prefetcher* prefetcher = nullptr;
 };
 
 namespace internal {
@@ -355,11 +364,28 @@ VertexSubset EdgeMap(const GraphT& g, VertexSubset& frontier, F f,
                      const EdgeMapOptions& opts = EdgeMapOptions{}) {
   if (frontier.IsEmpty()) return VertexSubset::Empty(g.num_vertices());
   uint64_t deg = internal::FrontierDegree(g, frontier);
-  uint64_t threshold = g.num_edges() / opts.dense_threshold_den;
-  bool use_dense =
-      opts.mode == TraversalMode::kDenseOnly ||
-      (opts.mode == TraversalMode::kAuto &&
-       deg + frontier.size() > std::max<uint64_t>(threshold, 1));
+  const uint64_t m = g.num_edges();
+  const uint64_t den = std::max<uint64_t>(internal::u64(opts.dense_threshold_den), 1);
+  const uint64_t threshold = std::max<uint64_t>(m / den, 1);
+  // Direction optimization is a constant-factor heuristic over the m/den
+  // ratio; when m < den that ratio truncates to nothing and the clamped
+  // threshold of 1 would send nearly every frontier dense, so tiny graphs
+  // stay on the sparse (work-efficient) path.
+  bool use_dense = opts.mode == TraversalMode::kDenseOnly ||
+                   (opts.mode == TraversalMode::kAuto && m >= den &&
+                    deg + frontier.size() > threshold);
+  if constexpr (!GraphT::kCompressed) {
+    // Hand the upcoming round's page frontier to the advice thread before
+    // traversal starts, so readahead overlaps with edge processing.
+    if (opts.prefetcher != nullptr && opts.prefetcher->Covers(g)) {
+      if (use_dense) {
+        opts.prefetcher->EnqueueDenseWave();
+      } else {
+        frontier.ToSparse();
+        opts.prefetcher->EnqueueWave(frontier.ids());
+      }
+    }
+  }
   if (use_dense) {
     SAGE_CHECK_MSG(g.symmetric(),
                    "dense (pull) traversal requires a symmetric graph");

@@ -180,6 +180,39 @@ class MappedGraphStorage final : public GraphStorage {
   std::span<const weight_t> weights() const override { return weights_; }
   bool nvram_resident() const override { return true; }
 
+  // Page advice for the prefetch pipeline (graph/prefetch.h). Offsets are
+  // bytes into the mapping; ranges are clamped and page-aligned here so
+  // callers can pass raw section slices.
+  bool SupportsPageAdvice() const override { return true; }
+  uint64_t MappingBytes() const override { return bytes_; }
+  uint64_t NeighborsByteOffset() const override { return neighbors_start_; }
+  uint64_t WeightsByteOffset() const override { return weights_start_; }
+
+  void AdviseWillNeed(uint64_t offset, uint64_t bytes) const override {
+    auto [addr, len] = PageSpan(offset, bytes);
+    // Advisory: a failed WILLNEED only costs the overlap; ignore it.
+    if (len > 0) (void)::madvise(addr, len, MADV_WILLNEED);
+  }
+
+  void AdviseDontNeed(uint64_t offset, uint64_t bytes) const override {
+    auto [addr, len] = PageSpan(offset, bytes);
+    // Read-only file-backed mapping: dropped pages re-fault from the page
+    // cache or the file, so DONTNEED is always safe here.
+    if (len > 0) (void)::madvise(addr, len, MADV_DONTNEED);
+  }
+
+  uint64_t CountResidentPages(uint64_t offset, uint64_t bytes) const override {
+    auto [addr, len] = PageSpan(offset, bytes);
+    if (len == 0) return 0;
+    const uint64_t page = PageBytes();
+    const size_t pages = static_cast<size_t>((len + page - 1) / page);
+    std::vector<unsigned char> vec(pages);
+    if (::mincore(addr, len, vec.data()) != 0) return 0;
+    uint64_t resident = 0;
+    for (unsigned char byte : vec) resident += (byte & 1u);
+    return resident;
+  }
+
   const uint8_t* data() const { return static_cast<const uint8_t*>(base_); }
 
   /// Set after header validation; sections are 64-byte aligned within the
@@ -190,15 +223,36 @@ class MappedGraphStorage final : public GraphStorage {
     neighbors_ = {
         reinterpret_cast<const vertex_id*>(data() + h.neighbors_start),
         static_cast<size_t>(h.num_edges)};
+    neighbors_start_ = h.neighbors_start;
     if ((h.flags & kBinaryGraphWeightedFlag) != 0) {
       weights_ = {reinterpret_cast<const weight_t*>(data() + h.weights_start),
                   static_cast<size_t>(h.num_edges)};
+      weights_start_ = h.weights_start;
     }
   }
 
  private:
+  static uint64_t PageBytes() {
+    static const uint64_t page =
+        static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+    return page;
+  }
+
+  /// Clamps [offset, offset+bytes) to the mapping and aligns it outward to
+  /// page boundaries, as madvise/mincore require.
+  std::pair<void*, size_t> PageSpan(uint64_t offset, uint64_t bytes) const {
+    if (offset >= bytes_) return {nullptr, 0};
+    const uint64_t page = PageBytes();
+    uint64_t end = std::min<uint64_t>(bytes_, offset + bytes);
+    uint64_t begin = offset / page * page;
+    return {static_cast<uint8_t*>(base_) + begin,
+            static_cast<size_t>(end - begin)};
+  }
+
   void* base_;
   size_t bytes_;
+  uint64_t neighbors_start_ = 0;
+  uint64_t weights_start_ = 0;
   std::span<const edge_offset> offsets_;
   std::span<const vertex_id> neighbors_;
   std::span<const weight_t> weights_;
@@ -266,6 +320,11 @@ Result<Graph> ReadBinaryGraph(const std::string& path) {
   if (::fstat(::fileno(f.get()), &st) != 0) {
     return Status::IOError("cannot stat " + path + ": " + ErrnoString());
   }
+  // A directory or FIFO opens fine but is not a graph image; name the
+  // condition instead of surfacing a downstream EISDIR/short-read.
+  if (!S_ISREG(st.st_mode)) {
+    return Status::IOError("cannot read " + path + ": not a regular file");
+  }
   const uint64_t file_size = static_cast<uint64_t>(st.st_size);
   BinaryGraphHeader h;
   SAGE_RETURN_IF_ERROR(ReadExact(f.get(), &h, sizeof(h), path, "header"));
@@ -309,6 +368,12 @@ Result<Graph> MapBinaryGraph(const std::string& path) {
     Status s = Status::IOError("cannot stat " + path + ": " + ErrnoString());
     ::close(fd);
     return s;
+  }
+  // Same regular-file guard as ReadBinaryGraph: mapping a directory or
+  // FIFO would otherwise surface a raw "mmap failed: ENODEV".
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("cannot map " + path + ": not a regular file");
   }
   const uint64_t file_size = static_cast<uint64_t>(st.st_size);
   if (file_size < sizeof(BinaryGraphHeader)) {

@@ -50,6 +50,41 @@ class GraphStorage {
   /// True when the backing memory is a read-only file mapping charged as
   /// NVRAM-resident (the semi-external setup: the file is the graph).
   virtual bool nvram_resident() const { return false; }
+
+  // --- Page-granular advice and residency introspection -----------------
+  // Meaningful only for file-mapped backends (MappedGraphStorage), which
+  // the prefetch pipeline (graph/prefetch.h) drives; in-memory storage has
+  // no pages to advise and inherits these no-ops. Byte offsets are relative
+  // to the start of the mapped image.
+
+  /// True when the backend supports page advice (a live file mapping).
+  virtual bool SupportsPageAdvice() const { return false; }
+  /// Total bytes of the mapped image (0 when not mapped).
+  virtual uint64_t MappingBytes() const { return 0; }
+  /// Byte offset of the neighbors section within the image.
+  virtual uint64_t NeighborsByteOffset() const { return 0; }
+  /// Byte offset of the weights section; 0 when unweighted or not mapped.
+  virtual uint64_t WeightsByteOffset() const { return 0; }
+  /// Hints the kernel to read [offset, offset+bytes) ahead
+  /// (madvise(MADV_WILLNEED)); asynchronous, advisory, never fails hard.
+  virtual void AdviseWillNeed(uint64_t offset, uint64_t bytes) const {
+    (void)offset;
+    (void)bytes;
+  }
+  /// Drops [offset, offset+bytes) from this process's page tables
+  /// (madvise(MADV_DONTNEED); re-faulted from the page cache / file on next
+  /// touch - safe for the read-only mapping).
+  virtual void AdviseDontNeed(uint64_t offset, uint64_t bytes) const {
+    (void)offset;
+    (void)bytes;
+  }
+  /// Number of pages of [offset, offset+bytes) currently resident in DRAM
+  /// (mincore); 0 when the backend is not mapped.
+  virtual uint64_t CountResidentPages(uint64_t offset, uint64_t bytes) const {
+    (void)offset;
+    (void)bytes;
+    return 0;
+  }
 };
 
 /// GraphStorage that owns its arrays as std::vectors (the in-memory
@@ -241,6 +276,10 @@ class Graph {
   bool nvram_resident() const {
     return storage_ != nullptr && storage_->nvram_resident();
   }
+
+  /// The storage backend (shared: keeps the mapping alive for holders that
+  /// outlive this Graph object, e.g. the prefetch pipeline).
+  std::shared_ptr<const GraphStorage> storage() const { return storage_; }
 
   /// Approximate NVRAM bytes occupied by the CSR arrays.
   size_t SizeBytes() const {

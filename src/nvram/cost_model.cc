@@ -24,14 +24,15 @@ const char* AllocPolicyName(AllocPolicy policy) {
 }
 
 std::string CostTotals::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "dram_r=%llu dram_w=%llu nvram_r=%llu nvram_w=%llu "
-                "remote=%llu mm_hit=%llu mm_miss=%llu",
+                "prefetch_r=%llu remote=%llu mm_hit=%llu mm_miss=%llu",
                 static_cast<unsigned long long>(dram_reads),
                 static_cast<unsigned long long>(dram_writes),
                 static_cast<unsigned long long>(nvram_reads),
                 static_cast<unsigned long long>(nvram_writes),
+                static_cast<unsigned long long>(nvram_prefetch_reads),
                 static_cast<unsigned long long>(remote_nvram_accesses),
                 static_cast<unsigned long long>(memory_mode_hits),
                 static_cast<unsigned long long>(memory_mode_misses));
@@ -44,6 +45,7 @@ std::string CostTotals::ToJson() const {
   j += ", \"dram_writes\": " + jsonw::U64(dram_writes);
   j += ", \"nvram_reads\": " + jsonw::U64(nvram_reads);
   j += ", \"nvram_writes\": " + jsonw::U64(nvram_writes);
+  j += ", \"nvram_prefetch_reads\": " + jsonw::U64(nvram_prefetch_reads);
   j += ", \"remote_nvram_accesses\": " + jsonw::U64(remote_nvram_accesses);
   j += ", \"memory_mode_hits\": " + jsonw::U64(memory_mode_hits);
   j += ", \"memory_mode_misses\": " + jsonw::U64(memory_mode_misses);
@@ -230,6 +232,12 @@ void CostModel::ChargeWorkWrite(uint64_t words, uint64_t addr_hint) {
       break;
   }
   MaybeThrottle(s);
+}
+
+void CostModel::ChargePrefetchRead(uint64_t words) {
+  // Distinct attribution: never folded into nvram_reads, never throttled -
+  // the advice thread is off the emulated critical path.
+  LocalShard().totals.nvram_prefetch_reads += words;
 }
 
 CostTotals CostModel::Totals() const {

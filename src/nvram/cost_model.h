@@ -121,6 +121,12 @@ struct CostTotals {
   uint64_t dram_writes = 0;
   uint64_t nvram_reads = 0;
   uint64_t nvram_writes = 0;
+  /// NVRAM words pulled in by the prefetch pipeline (graph/prefetch.h)
+  /// ahead of compute. Attributed distinctly: these reads happen off the
+  /// critical path, so they are excluded from PsamCost and EmulatedNanos,
+  /// and the compute wave's own graph-read charges stay untouched
+  /// (prefetch on/off leaves the PSAM counters bit-identical).
+  uint64_t nvram_prefetch_reads = 0;
   uint64_t remote_nvram_accesses = 0;
   uint64_t memory_mode_hits = 0;
   uint64_t memory_mode_misses = 0;
@@ -130,6 +136,7 @@ struct CostTotals {
     dram_writes += o.dram_writes;
     nvram_reads += o.nvram_reads;
     nvram_writes += o.nvram_writes;
+    nvram_prefetch_reads += o.nvram_prefetch_reads;
     remote_nvram_accesses += o.remote_nvram_accesses;
     memory_mode_hits += o.memory_mode_hits;
     memory_mode_misses += o.memory_mode_misses;
@@ -141,6 +148,7 @@ struct CostTotals {
     r.dram_writes -= o.dram_writes;
     r.nvram_reads -= o.nvram_reads;
     r.nvram_writes -= o.nvram_writes;
+    r.nvram_prefetch_reads -= o.nvram_prefetch_reads;
     r.remote_nvram_accesses -= o.remote_nvram_accesses;
     r.memory_mode_hits -= o.memory_mode_hits;
     r.memory_mode_misses -= o.memory_mode_misses;
@@ -149,6 +157,7 @@ struct CostTotals {
 
   /// PSAM work contribution of these accesses for asymmetry omega:
   /// unit cost everywhere except NVRAM writes, which cost omega.
+  /// Prefetched reads are off the critical path and excluded.
   double PsamCost(double omega) const {
     return static_cast<double>(dram_reads + dram_writes + nvram_reads) +
            omega * static_cast<double>(nvram_writes);
@@ -229,6 +238,14 @@ class CostModel {
 
   /// Charges `words` written to mutable working memory.
   void ChargeWorkWrite(uint64_t words, uint64_t addr_hint = 0);
+
+  /// Charges `words` of NVRAM read by the prefetch pipeline ahead of
+  /// compute (graph/prefetch.h). Attributed distinctly - never folded into
+  /// nvram_reads, PsamCost, or EmulatedNanos - so runs report how much of
+  /// the graph the pipeline pulled in without perturbing the PSAM
+  /// accounting the parity tests pin down. No throttle, no NUMA model:
+  /// the background advice thread is not on the emulated critical path.
+  void ChargePrefetchRead(uint64_t words);
 
   /// Sums all shards.
   CostTotals Totals() const;

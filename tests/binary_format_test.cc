@@ -4,7 +4,12 @@
 // loading via format detection, PSAM parity between text-loaded and mapped
 // graphs, NVRAM residence plumbing, bounded-varint fuzzing, and the
 // compressed-graph encoding validator.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -218,6 +223,42 @@ TEST(BinaryFormat, DetectedByMagicRegardlessOfExtension) {
   ASSERT_TRUE(fmt.ok());
   EXPECT_EQ(fmt.ValueOrDie(), GraphFileFormat::kBinaryCsr);
   EXPECT_STREQ(GraphFileFormatName(fmt.ValueOrDie()), "binary-csr");
+}
+
+// Both loaders must refuse non-regular files up front with the same shaped
+// error: a directory fails fstat-based size logic confusingly, and a FIFO
+// would hang a read loop or break mmap length assumptions.
+TEST(BinaryFormat, RejectAndMapRejectDirectories) {
+  std::string dir = TempPath("a_directory");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST, true);
+  for (auto* load : {&ReadBinaryGraph, &MapBinaryGraph}) {
+    auto loaded = (*load)(dir);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    EXPECT_NE(loaded.status().ToString().find("not a regular file"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  ::rmdir(dir.c_str());
+}
+
+TEST(BinaryFormat, ReadAndMapRejectFifos) {
+  std::string fifo = TempPath("a_fifo");
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  // Hold the write end open so the loaders' O_RDONLY open cannot block
+  // waiting for a writer; the guard must fire on fstat, not hang on read.
+  int writer = ::open(fifo.c_str(), O_RDWR);
+  ASSERT_GE(writer, 0);
+  for (auto* load : {&ReadBinaryGraph, &MapBinaryGraph}) {
+    auto loaded = (*load)(fifo);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    EXPECT_NE(loaded.status().ToString().find("not a regular file"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+  ::close(writer);
+  ::unlink(fifo.c_str());
 }
 
 TEST(BinaryFormat, ReadGraphAutoMapsTransparently) {

@@ -167,6 +167,52 @@ TEST(EdgeMap, NoDuplicateOutputsWithCasDiscipline) {
   EXPECT_EQ(next.size(), 199u);
 }
 
+/// One EdgeMap step from a sparse frontier under kAuto; whether the result
+/// is dense reveals which direction the optimizer picked (EdgeMapDense
+/// returns a dense subset, every sparse variant a sparse one).
+bool StepWentDense(const Graph& g, std::vector<vertex_id> frontier_ids,
+                   EdgeMapOptions opts) {
+  const vertex_id n = g.num_vertices();
+  std::vector<std::atomic<vertex_id>> parents(n);
+  for (auto& p : parents) p.store(kNoVertex);
+  for (vertex_id v : frontier_ids) parents[v].store(v);
+  auto frontier = VertexSubset::Sparse(n, std::move(frontier_ids));
+  BfsFunctor f{parents};
+  auto next = EdgeMap(g, frontier, f, opts);
+  return next.is_dense();
+}
+
+TEST(EdgeMapDirection, TinyGraphsStaySparseUnderAuto) {
+  // m = 12 < dense_threshold_den = 20: the truncated Beamer threshold
+  // (m / 20 = 0, clamped to 1) used to send every frontier with
+  // |U| + deg(U) > 1 dense. The heuristic is a constant-factor bet that
+  // only makes sense once m >= den; tiny graphs stay on the push path.
+  Graph g = CompleteGraph(4);
+  ASSERT_LT(g.num_edges(), EdgeMapOptions{}.dense_threshold_den);
+  EXPECT_FALSE(StepWentDense(g, {0}, EdgeMapOptions{}));
+}
+
+TEST(EdgeMapDirection, HeavyFrontierStillGoesDenseOnce) {
+  // m = 64 * 63 = 4032 >> 20: a full frontier exceeds m / 20 and the
+  // optimizer must still switch to pull.
+  Graph g = CompleteGraph(64);
+  std::vector<vertex_id> all = tabulate<vertex_id>(
+      64, [](size_t i) { return static_cast<vertex_id>(i); });
+  EXPECT_TRUE(StepWentDense(g, std::move(all), EdgeMapOptions{}));
+  // ... while a single-source frontier (|U| + deg = 64 <= 201) stays sparse.
+  EXPECT_FALSE(StepWentDense(g, {0}, EdgeMapOptions{}));
+}
+
+TEST(EdgeMapDirection, ZeroDenominatorIsTreatedAsOne) {
+  // den = 0 used to divide by zero; it now clamps to 1 (threshold = m),
+  // and the step still computes the right next frontier.
+  Graph g = CompleteGraph(8);
+  EdgeMapOptions opts;
+  opts.dense_threshold_den = 0;
+  EXPECT_FALSE(StepWentDense(g, {0}, opts));
+  EXPECT_EQ(BfsLevels(g, 0, opts), ReferenceLevels(g, 0));
+}
+
 /// Intermediate-memory comparison (the Table 5 property): peak tracked DRAM
 /// during a one-step traversal from a full frontier.
 uint64_t PeakDuringFullStep(const Graph& g, SparseVariant variant) {
