@@ -57,7 +57,12 @@ void PrintUsage() {
       "rmat|uniform|grid -logn N -edges M] [-src V]\n"
       "                [-policy %s] [-threads T] [-omega W] [-prefetch] "
       "[-json]\n"
+      "                [-updates file] [-compact]\n"
       "       sage_cli [-graph file | -gen ...] -convert out.bsadj|out.adj\n"
+      "-updates applies an edge-update stream ('u v [w]' inserts, '- u v'\n"
+      "removes) as a DRAM delta over the loaded graph before the run;\n"
+      "-compact merges the delta into the base (rewriting a mapped .bsadj\n"
+      "image in place) first.\n"
       "algorithms:",
       AllocPolicyChoices());
   for (const auto& entry : AlgorithmRegistry::Get().entries()) {
@@ -132,17 +137,60 @@ int main(int argc, char** argv) {
   // too (the run itself would apply it, but only after the graph exists).
   if (ctx.num_threads > 0) Scheduler::Reset(ctx.num_threads);
 
-  auto loaded = LoadGraph(cmd);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+  // Load through Engine::FromFile when reading a file so a mapped .bsadj
+  // image's path is remembered and -compact can rewrite it in place.
+  auto engine_or = [&]() -> Result<Engine> {
+    if (cmd.Has("graph") && !cmd.Has("weighted")) {
+      return Engine::FromFile(cmd.GetString("graph"), ctx);
+    }
+    auto loaded = LoadGraph(cmd);
+    if (!loaded.ok()) return loaded.status();
+    return Engine(loaded.TakeValue(), ctx);
+  }();
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "%s\n", engine_or.status().ToString().c_str());
     return 1;
   }
-  Engine engine(loaded.TakeValue(), ctx);
+  Engine engine = engine_or.TakeValue();
 
   RunParams params;
   params.source = static_cast<vertex_id>(cmd.GetInt("src", 0));
 
   const bool json = cmd.Has("json");
+
+  if (cmd.Has("updates")) {
+    auto updates = ReadEdgeUpdates(cmd.GetString("updates"));
+    if (!updates.ok()) {
+      std::fprintf(stderr, "%s\n", updates.status().ToString().c_str());
+      return 1;
+    }
+    auto applied = engine.ApplyUpdates(updates.ValueOrDie());
+    if (!applied.ok()) {
+      std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+      return 1;
+    }
+    if (!json) {
+      const auto& stats = applied.ValueOrDie();
+      std::printf("updates: applied %llu -> epoch %llu, delta-edges=%llu\n",
+                  static_cast<unsigned long long>(stats.applied),
+                  static_cast<unsigned long long>(stats.epoch),
+                  static_cast<unsigned long long>(stats.delta_edges));
+    }
+  }
+  if (cmd.Has("compact")) {
+    auto compacted = engine.Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "%s\n", compacted.status().ToString().c_str());
+      return 1;
+    }
+    if (!json) {
+      const auto& stats = compacted.ValueOrDie();
+      std::printf("compacted: epoch %llu, m=%llu%s\n",
+                  static_cast<unsigned long long>(stats.epoch),
+                  static_cast<unsigned long long>(stats.num_edges),
+                  stats.image_rewritten ? " (image rewritten)" : "");
+    }
+  }
   if (!json) {
     auto stats = ComputeStats(engine.graph());
     std::printf("graph: %s\n", stats.ToString().c_str());

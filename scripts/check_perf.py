@@ -110,6 +110,22 @@ def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
                 f"{k[0]}/{k[1]}: baseline row missing from fresh run at "
                 f"every thread width — measurement coverage lost"
             )
+    # Split the unmatched fresh rows into whole new benchmark *families*
+    # (a `benchmark` name the baseline has no row of at all — a freshly
+    # added benchmark, one warning per family) and stray per-row additions
+    # inside families the baseline already gates (new labels/configs, one
+    # warning per row, as before). A new family is expected exactly once —
+    # on the PR adding the benchmark — so drowning it in per-row noise
+    # would hide the one line telling the author to adopt it.
+    base_families = {k[0] for k in base}
+    family_rows = [k for k in extra if k[0] not in base_families]
+    extra = [k for k in extra if k[0] in base_families]
+    for family in sorted({k[0] for k in family_rows}):
+        count = sum(1 for k in family_rows if k[0] == family)
+        warnings.append(
+            f"new benchmark family not in baseline: {family} ({count} "
+            f"row(s)) — adopt it with scripts/run_bench.sh --baseline"
+        )
     for k in extra:
         warnings.append(f"fresh record not in baseline (new row?): {k[0]}/{k[1]}")
     if extra:
@@ -322,6 +338,30 @@ def self_test():
                   make_record(label="brand-new")]), base)
     check("unmatched-rows summary counts every extra row",
           ok and any("2 new/unmatched" in w for w in warns))
+
+    family_doc = make_doc([
+        make_record(),
+        make_record(benchmark="update_throughput", label="apply-batches"),
+        make_record(benchmark="update_throughput", label="mixed read-write"),
+    ])
+    ok, _, warns, _ = compare(family_doc, base)
+    check("whole new benchmark family warns once, not per row",
+          ok and sum("new benchmark family" in w for w in warns) == 1
+          and any("update_throughput (2 row(s))" in w for w in warns))
+    check("new-family rows are kept out of the per-row unmatched noise",
+          not any("new row?" in w for w in warns)
+          and not any("new/unmatched" in w for w in warns))
+
+    mixed_doc = make_doc([
+        make_record(),
+        make_record(threads=4),
+        make_record(benchmark="update_throughput", label="apply-batches"),
+    ])
+    ok, _, warns, _ = compare(mixed_doc, base)
+    check("family and per-row additions are reported separately",
+          ok and any("new benchmark family" in w for w in warns)
+          and sum("new row?" in w for w in warns) == 1
+          and any("1 new/unmatched" in w for w in warns))
 
     sweep_base = make_doc([make_record(), make_record(threads=4)])
     ok, _, warns, _ = compare(make_doc([make_record()]), sweep_base)

@@ -1,5 +1,5 @@
-// sage::Engine: the facade bundling a graph with a RunContext and a
-// concurrent query front door.
+// sage::Engine: the facade bundling a graph with a RunContext, a
+// concurrent query front door, and the dynamic-update subsystem.
 //
 // An Engine owns the (NVRAM-resident, read-only) input graph and the run
 // configuration, and exposes one call for everything:
@@ -18,31 +18,56 @@
 //   auto f2 = engine.Submit("pagerank");                // overlaps with f1
 //   auto r1 = f1.get();                                 // own exact counters
 //
-// Thread-safety contract: Submit(), Run(), graph(), and WeightedTwin() may
-// be called from any number of threads concurrently; each run executes
-// under its own nvram::ExecutionContext, so reports never bleed into each
-// other. context() returns a mutable reference and must not be modified
-// while queries are in flight. Moving an Engine is cheap (its state is
-// heap-held and address-stable) but must not race in-flight queries.
+// Dynamic updates (graph/delta.h, graph/epoch.h): ApplyUpdates() appends a
+// batch of edge inserts/deletes to a sharded DeltaLog and group-commits the
+// drained log into a DRAM overlay over the immutable base image, publishing
+// the merged view as a new epoch. Every Submit() pins the epoch current at
+// submission, so in-flight queries keep a consistent snapshot - a query
+// pinned to epoch N never observes epoch N+1 edges. Compact() folds the
+// overlay into a fresh base; when the engine was opened from a .bsadj image
+// (FromFile) the image is rewritten and atomically renamed over the
+// original, then remapped - the old mapping stays alive for pinned readers
+// and is unmapped when the last epoch-N snapshot retires.
+//
+//   engine.ApplyUpdates({sage::EdgeUpdate::Insert(3, 9)});   // epoch 1
+//   auto r = engine.Run("bfs");       // r.graph_epoch == 1, sees (3, 9)
+//   engine.Compact();                 // delta folded in; epoch 2, delta 0
+//
+// Thread-safety contract: Submit(), Run(), graph(), WeightedTwin(),
+// ApplyUpdates(), Compact(), and PinSnapshot() may be called from any
+// number of threads concurrently; each run executes under its own
+// nvram::ExecutionContext, so reports never bleed into each other.
+// context() returns a mutable reference and must not be modified while
+// queries are in flight. Moving an Engine is cheap (its state is heap-held
+// and address-stable) but must not race in-flight queries.
 //
 // Run() is a thin synchronous wrapper over Submit(): same queue, same
 // session pool, block on the future. The engine lazily synthesizes and
 // caches the weighted twins used by the weighted algorithms when the input
 // graph carries no weights - one twin per weight seed, race-free under
-// concurrent Submit, each paying its synthesis cost once.
+// concurrent Submit, each paying its synthesis cost once. The cache serves
+// epoch-0 queries; queries on updated epochs synthesize per-run from their
+// own snapshot.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <future>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "api/query_service.h"
 #include "api/registry.h"
+#include "graph/binary_format.h"
 #include "graph/builder.h"
+#include "graph/delta.h"
+#include "graph/epoch.h"
 #include "graph/graph.h"
 #include "graph/io.h"
 
@@ -50,41 +75,200 @@ namespace sage {
 
 class Engine {
  public:
+  /// Result of one ApplyUpdates call.
+  struct UpdateStats {
+    /// Epoch serving the updates (the current epoch when this call's
+    /// updates were group-committed by a concurrent writer).
+    uint64_t epoch = 0;
+    /// Updates this call applied itself (its own batch plus any pending
+    /// log entries it drained); 0 when a concurrent writer's group commit
+    /// absorbed this call's batch.
+    uint64_t applied = 0;
+    /// Cumulative directed edge slots inserted/deleted vs the base image.
+    uint64_t delta_edges = 0;
+  };
+
+  /// Result of one Compact call.
+  struct CompactionStats {
+    uint64_t epoch = 0;
+    /// Directed edges in the compacted base.
+    uint64_t num_edges = 0;
+    /// True when the on-disk .bsadj image was rewritten, renamed over the
+    /// original path, and remapped as the new NVRAM-resident base.
+    bool image_rewritten = false;
+  };
+
   explicit Engine(Graph graph, RunContext ctx = RunContext{})
       : state_(std::make_unique<State>()) {
     state_->graph = std::move(graph);
     state_->ctx = ctx;
+    state_->base = state_->graph;
+    state_->epochs = std::make_unique<EpochManager>(state_->graph);
   }
 
   /// Loads the graph at `path` in any format ReadGraphAuto understands and
   /// wraps it in an engine. Binary .bsadj images open zero-copy as
   /// NVRAM-resident mappings (Graph::nvram_resident()), so the engine's
   /// runs charge graph reads as NVRAM under every policy - the
-  /// semi-external setup with no parse-and-rebuild step.
+  /// semi-external setup with no parse-and-rebuild step. For mapped images
+  /// the path is remembered: Compact() rewrites it in place.
   static Result<Engine> FromFile(const std::string& path,
                                  RunContext ctx = RunContext{},
                                  bool symmetric = true) {
     auto graph = ReadGraphAuto(path, symmetric);
     if (!graph.ok()) return graph.status();
-    return Engine(graph.TakeValue(), ctx);
+    Engine engine(graph.TakeValue(), ctx);
+    if (engine.state_->graph.nvram_resident()) {
+      engine.state_->image_path = path;
+    }
+    return engine;
   }
 
-  /// Runs a registered algorithm on the engine's graph under its context,
-  /// synchronously: submits onto the query service and blocks on the
-  /// future.
+  /// Runs a registered algorithm on the engine's current snapshot under
+  /// its context, synchronously: submits onto the query service and
+  /// blocks on the future.
   Result<RunReport> Run(const std::string& algorithm,
                         const RunParams& params = RunParams{}) {
     return Submit(algorithm, params).get();
   }
 
   /// Enqueues a registered algorithm onto the engine's query service and
-  /// returns the future run report. Queries overlap up to the service's
-  /// session count; the queue bounds backpressure (Submit blocks while
-  /// full). Safe from any thread.
+  /// returns the future run report. The query is pinned to the epoch
+  /// current at submission (snapshot isolation against concurrent
+  /// ApplyUpdates/Compact). Queries overlap up to the service's session
+  /// count; the queue bounds backpressure (Submit blocks while full).
+  /// Safe from any thread.
   std::future<Result<RunReport>> Submit(const std::string& algorithm,
                                         const RunParams& params = RunParams{}) {
-    return service().Submit(algorithm, state_->ctx, params);
+    return service().Submit(algorithm, state_->ctx, params,
+                            state_->epochs->Pin());
   }
+
+  /// Appends `updates` to the delta log and group-commits: the calling
+  /// thread that wins the commit lock drains the whole log (its batch plus
+  /// any batches appended concurrently) into a new overlay epoch built
+  /// copy-on-write over the previous one; losers return as soon as their
+  /// batch is covered by a committed epoch. InvalidArgument (nothing
+  /// applied, nothing logged) when any update references a vertex >= n -
+  /// updates never grow the vertex set. Safe from any thread; in-flight
+  /// queries are unaffected (they hold their own epoch pins).
+  Result<UpdateStats> ApplyUpdates(std::span<const EdgeUpdate> updates) {
+    State& s = *state_;
+    const vertex_id n = s.graph.num_vertices();
+    for (const EdgeUpdate& e : updates) {
+      if (e.u >= n || e.v >= n) {
+        return Status::InvalidArgument(
+            "edge update (" + std::to_string(e.u) + ", " +
+            std::to_string(e.v) + ") references a vertex >= n=" +
+            std::to_string(n) + " (updates cannot grow the vertex set)");
+      }
+    }
+    if (updates.empty()) {
+      std::lock_guard<std::mutex> lock(s.update_mu);
+      return UpdateStats{s.epochs->current_epoch(), 0, CurrentDeltaLocked(s)};
+    }
+    const uint64_t seq = s.delta_log.Append(updates);
+    std::lock_guard<std::mutex> lock(s.update_mu);
+    if (s.applied_seq >= seq) {
+      // A concurrent writer's group commit drained this batch already; the
+      // current epoch serves it.
+      return UpdateStats{s.epochs->current_epoch(), 0, CurrentDeltaLocked(s)};
+    }
+    uint64_t last = s.applied_seq;
+    std::vector<EdgeUpdate> batch = s.delta_log.Drain(&last);
+    Result<std::shared_ptr<const DeltaOverlay>> next = [&] {
+      // The parallel merge must not race a width-changing run's pool
+      // rebuild (same discipline as the weighted-twin synthesis).
+      internal::SchedulerWidthGuard width_guard;
+      return ApplyUpdateBatch(s.base, s.overlay, batch);
+    }();
+    if (!next.ok()) return next.status();  // unreachable: validated above
+    s.overlay = next.TakeValue();
+    s.applied_seq = last;
+    uint64_t epoch = s.epochs->Advance(MakeOverlayGraph(s.base, s.overlay),
+                                       s.overlay->delta_edges());
+    return UpdateStats{epoch, batch.size(), s.overlay->delta_edges()};
+  }
+
+  /// Convenience overload for brace-initialized batches.
+  Result<UpdateStats> ApplyUpdates(std::initializer_list<EdgeUpdate> updates) {
+    return ApplyUpdates(
+        std::span<const EdgeUpdate>(updates.begin(), updates.size()));
+  }
+
+  /// Merges the delta overlay (plus any not-yet-committed log entries)
+  /// into a fresh base and publishes it as a new epoch with delta 0. When
+  /// the engine was opened from a mapped .bsadj image, the merged graph is
+  /// written beside the image and atomically renamed over it, then mapped
+  /// as the new NVRAM-resident base - readers pinned to older epochs keep
+  /// the superseded mapping alive until they retire, at which point it is
+  /// unmapped (the hot-swap under live traffic). In-memory engines just
+  /// swap in the merged arrays. A no-op (current epoch, no bump) when
+  /// there is nothing to merge. Safe from any thread.
+  Result<CompactionStats> Compact() {
+    State& s = *state_;
+    std::lock_guard<std::mutex> lock(s.update_mu);
+    uint64_t last = s.applied_seq;
+    std::vector<EdgeUpdate> pending = s.delta_log.Drain(&last);
+    std::shared_ptr<const DeltaOverlay> overlay = s.overlay;
+    Graph merged;
+    {
+      internal::SchedulerWidthGuard width_guard;
+      if (!pending.empty()) {
+        auto next = ApplyUpdateBatch(s.base, overlay, pending);
+        if (!next.ok()) return next.status();
+        overlay = next.TakeValue();
+      }
+      s.applied_seq = last;
+      if (overlay == nullptr) {
+        // Nothing to merge: keep the current epoch.
+        return CompactionStats{s.epochs->current_epoch(), s.base.num_edges(),
+                               false};
+      }
+      merged = FlattenOverlay(MakeOverlayGraph(s.base, overlay));
+    }
+    CompactionStats stats;
+    if (!s.image_path.empty()) {
+      const std::string tmp = s.image_path + ".compact.tmp";
+      Status written = WriteBinaryGraph(merged, tmp);
+      if (!written.ok()) return written;
+      if (std::rename(tmp.c_str(), s.image_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::IOError("compaction rename " + tmp + " -> " +
+                               s.image_path + " failed");
+      }
+      auto mapped = MapBinaryGraph(s.image_path);
+      if (!mapped.ok()) return mapped.status();
+      s.base = mapped.TakeValue();
+      stats.image_rewritten = true;
+    } else {
+      s.base = std::move(merged);
+    }
+    s.overlay = nullptr;
+    stats.epoch = s.epochs->Advance(s.base, 0);
+    stats.num_edges = s.base.num_edges();
+    return stats;
+  }
+
+  /// Pins the current epoch's snapshot: the returned view (graph + epoch +
+  /// delta count) stays consistent and alive for as long as the pointer is
+  /// held, regardless of concurrent updates or compactions.
+  std::shared_ptr<const GraphSnapshot> PinSnapshot() const {
+    return state_->epochs->Pin();
+  }
+
+  /// The current epoch number (0 until the first ApplyUpdates/Compact).
+  uint64_t epoch() const { return state_->epochs->current_epoch(); }
+
+  /// Cumulative structural delta of the current epoch vs the base image.
+  uint64_t delta_edges() const { return PinSnapshot()->delta_edges; }
+
+  /// Updates appended but not yet group-committed into an epoch.
+  uint64_t pending_updates() const { return state_->delta_log.pending(); }
+
+  /// The epoch manager (retire callbacks / live-epoch introspection for
+  /// tests and monitoring).
+  EpochManager& epochs() { return *state_->epochs; }
 
   /// The engine's query service, started on first use. Pass Options to the
   /// first call to size the session pool / queue; later calls return the
@@ -103,8 +287,8 @@ class Engine {
     return *s.service;
   }
 
-  /// The weighted twin for `seed`: the graph itself when it carries
-  /// weights, else a synthesized copy cached per seed (up to
+  /// The weighted twin for `seed`: the epoch-0 graph itself when it
+  /// carries weights, else a synthesized copy cached per seed (up to
   /// kMaxCachedTwins distinct seeds; beyond that nullptr, and runs
   /// synthesize per-run instead of growing the cache without bound).
   /// Thread-safe; a returned pointer stays valid for the engine's
@@ -118,7 +302,12 @@ class Engine {
   /// beyond the cap pay per-run synthesis instead of DRAM.
   static constexpr size_t kMaxCachedTwins = 4;
 
-  const Graph& graph() const { return state_->graph; }
+  /// The graph the next query would run on: the current epoch's view
+  /// (base + any overlay). Returned by value - Graph copies share their
+  /// storage - so the caller's view stays valid and consistent across
+  /// concurrent ApplyUpdates / Compact calls.
+  Graph graph() const { return state_->epochs->Pin()->graph; }
+
   RunContext& context() { return state_->ctx; }
   const RunContext& context() const { return state_->ctx; }
 
@@ -126,6 +315,9 @@ class Engine {
   /// Heap-held so the engine stays cheaply movable while the graph, twin
   /// cache, and service keep stable addresses for in-flight queries.
   struct State {
+    /// The epoch-0 construction graph: the query service's default view
+    /// and the twin cache's source. Never reassigned (pinned snapshots
+    /// and the service reference it for the engine's lifetime).
     Graph graph;
     RunContext ctx;
     /// Cached weighted twins for weighted algorithms on unweighted inputs,
@@ -135,7 +327,29 @@ class Engine {
     std::unordered_map<uint64_t, std::unique_ptr<Graph>> twins;
     std::once_flag service_once;
     std::unique_ptr<QueryService> service;
+
+    // --- Dynamic-update state (guarded by update_mu except delta_log,
+    // --- which is internally synchronized) -------------------------------
+    std::mutex update_mu;
+    /// Current overlay-free base (the construction graph until the first
+    /// compaction swaps in a merged one).
+    Graph base;
+    /// Overlay of updates applied since the last compaction; nullptr when
+    /// the base is clean.
+    std::shared_ptr<const DeltaOverlay> overlay;
+    /// .bsadj path backing `base` when it is a file mapping ("" otherwise);
+    /// Compact() rewrites it.
+    std::string image_path;
+    /// Sharded concurrent log of appended-but-uncommitted updates.
+    DeltaLog delta_log;
+    /// Highest log sequence folded into the current overlay/base.
+    uint64_t applied_seq = 0;
+    std::unique_ptr<EpochManager> epochs;
   };
+
+  static uint64_t CurrentDeltaLocked(State& s) {
+    return s.overlay == nullptr ? 0 : s.overlay->delta_edges();
+  }
 
   static const Graph* WeightedTwinFor(State& s, uint64_t seed) {
     if (s.graph.weighted()) return &s.graph;

@@ -39,10 +39,17 @@ QueryService::~QueryService() { Shutdown(); }
 std::future<Result<RunReport>> QueryService::Submit(std::string algorithm,
                                                     RunContext ctx,
                                                     RunParams params) {
+  return Submit(std::move(algorithm), ctx, params, nullptr);
+}
+
+std::future<Result<RunReport>> QueryService::Submit(
+    std::string algorithm, RunContext ctx, RunParams params,
+    std::shared_ptr<const GraphSnapshot> snapshot) {
   Request request;
   request.algorithm = std::move(algorithm);
   request.ctx = ctx;
   request.params = params;
+  request.snapshot = std::move(snapshot);
   std::future<Result<RunReport>> future = request.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -104,20 +111,36 @@ void QueryService::SessionLoop() {
 }
 
 Result<RunReport> QueryService::Execute(Request& request) {
+  const Graph& g =
+      request.snapshot != nullptr ? request.snapshot->graph : graph_;
   const AlgorithmInfo* info = AlgorithmRegistry::Get().Find(request.algorithm);
-  if (info != nullptr && info->needs_weights && !graph_.weighted() &&
-      twin_provider_ != nullptr) {
-    // The provider owns its thread-safety, including holding the
-    // scheduler-width lock around any parallel synthesis (Engine's
-    // provider does, via internal::SchedulerWidthGuard).
-    const Graph* weighted = twin_provider_(request.params.weight_seed);
-    if (weighted != nullptr) {
-      return AlgorithmRegistry::Run(request.algorithm, graph_, *weighted,
-                                    request.ctx, request.params);
+  // The cached twin provider synthesizes from the service's epoch-0 graph,
+  // so it only serves queries still pinned to epoch 0; later epochs
+  // synthesize a per-run twin from their own snapshot (AddRandomWeights
+  // flattens the overlay, and its pairwise weight hash makes the overlay
+  // and compacted twins identical).
+  const bool epoch0 =
+      request.snapshot == nullptr || request.snapshot->epoch == 0;
+  Result<RunReport> run = [&]() -> Result<RunReport> {
+    if (info != nullptr && info->needs_weights && !g.weighted() && epoch0 &&
+        twin_provider_ != nullptr) {
+      // The provider owns its thread-safety, including holding the
+      // scheduler-width lock around any parallel synthesis (Engine's
+      // provider does, via internal::SchedulerWidthGuard).
+      const Graph* weighted = twin_provider_(request.params.weight_seed);
+      if (weighted != nullptr) {
+        return AlgorithmRegistry::Run(request.algorithm, g, *weighted,
+                                      request.ctx, request.params);
+      }
     }
+    return AlgorithmRegistry::Run(request.algorithm, g, request.ctx,
+                                  request.params);
+  }();
+  if (run.ok() && request.snapshot != nullptr) {
+    run.ValueOrDie().graph_epoch = request.snapshot->epoch;
+    run.ValueOrDie().delta_edges = request.snapshot->delta_edges;
   }
-  return AlgorithmRegistry::Run(request.algorithm, graph_, request.ctx,
-                                request.params);
+  return run;
 }
 
 }  // namespace sage

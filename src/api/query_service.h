@@ -44,6 +44,7 @@
 #include "api/run_context.h"
 #include "api/run_report.h"
 #include "common/status.h"
+#include "graph/epoch.h"
 #include "graph/graph.h"
 
 namespace sage {
@@ -83,6 +84,16 @@ class QueryService {
   std::future<Result<RunReport>> Submit(std::string algorithm, RunContext ctx,
                                         RunParams params = RunParams{});
 
+  /// As above, but the query executes on `snapshot`'s graph instead of the
+  /// service's default graph, and its report is stamped with the snapshot's
+  /// epoch and delta count. The snapshot stays pinned (its epoch cannot
+  /// retire) until the query completes - Engine::Submit routes every query
+  /// through here so in-flight runs keep a consistent view across
+  /// concurrent ApplyUpdates / Compact calls.
+  std::future<Result<RunReport>> Submit(
+      std::string algorithm, RunContext ctx, RunParams params,
+      std::shared_ptr<const GraphSnapshot> snapshot);
+
   /// Stops accepting new queries, drains the queue, joins the sessions.
   /// Idempotent.
   void Shutdown();
@@ -99,6 +110,10 @@ class QueryService {
     std::string algorithm;
     RunContext ctx;
     RunParams params;
+    /// Pinned epoch snapshot to execute on; nullptr = the service's
+    /// default graph. Released (allowing the epoch to retire) when the
+    /// request is destroyed after execution.
+    std::shared_ptr<const GraphSnapshot> snapshot;
     std::promise<Result<RunReport>> promise;
   };
 

@@ -19,6 +19,8 @@ std::string RunReport::ToJson() const {
   j += "  \"policy\": " + Str(nvram::AllocPolicyName(policy)) + ",\n";
   j += "  \"graph_source\": " +
        Str(graph_mapped ? "mapped-nvram" : "memory") + ",\n";
+  j += "  \"graph_epoch\": " + U64(graph_epoch) + ",\n";
+  j += "  \"delta_edges\": " + U64(delta_edges) + ",\n";
   j += "  \"omega\": " + Double(omega) + ",\n";
   j += "  \"psam_cost\": " + Double(PsamCost()) + ",\n";
   j += "  \"peak_intermediate_bytes\": " + U64(peak_intermediate_bytes) +
@@ -48,6 +50,13 @@ std::string RunReport::ToString() const {
   std::snprintf(buf, sizeof(buf), "dram-peak: %llu intermediate bytes\n",
                 static_cast<unsigned long long>(peak_intermediate_bytes));
   s += buf;
+  if (graph_epoch != 0 || delta_edges != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "epoch: %llu | delta-edges: %llu\n",
+                  static_cast<unsigned long long>(graph_epoch),
+                  static_cast<unsigned long long>(delta_edges));
+    s += buf;
+  }
   if (prefetch_enabled) {
     std::snprintf(buf, sizeof(buf),
                   "prefetch: %llu waves, %llu pages prefetched, "

@@ -59,6 +59,13 @@ struct RunReport {
   /// True when the input graph was an mmap-ed NVRAM-resident .bsadj image
   /// (graph reads then charge as NVRAM under every policy).
   bool graph_mapped = false;
+  /// Epoch of the graph snapshot the query executed on: 0 for the engine's
+  /// original image, bumped by every Engine::ApplyUpdates / Compact. Runs
+  /// submitted outside an engine (no snapshot) report 0.
+  uint64_t graph_epoch = 0;
+  /// Directed edge slots inserted or deleted in the snapshot's DRAM delta
+  /// overlay relative to the NVRAM base image (0 once compacted).
+  uint64_t delta_edges = 0;
   /// PSAM write asymmetry the run executed under.
   double omega = 4.0;
   /// PSAM counter deltas charged by the run (word granularity).

@@ -36,6 +36,8 @@
 #include "graph/binary_format.h"
 #include "graph/builder.h"
 #include "graph/compressed_graph.h"
+#include "graph/delta.h"
+#include "graph/epoch.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"

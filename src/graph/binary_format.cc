@@ -1,5 +1,7 @@
 #include "graph/binary_format.h"
 
+#include "graph/delta.h"
+
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -261,6 +263,9 @@ class MappedGraphStorage final : public GraphStorage {
 }  // namespace
 
 Status WriteBinaryGraph(const Graph& g, const std::string& path) {
+  // The sections below serialize the raw CSR spans, which for an overlay
+  // graph are the base image only: materialize the merged view first.
+  if (g.has_overlay()) return WriteBinaryGraph(FlattenOverlay(g), path);
   const uint64_t n = g.num_vertices();
   const uint64_t m = g.num_edges();
   BinaryGraphHeader h{};

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/random.h"
+#include "graph/delta.h"
 #include "parallel/parallel.h"
 #include "parallel/primitives.h"
 #include "parallel/sort.h"
@@ -102,6 +103,10 @@ Graph GraphBuilder::FromWeightedEdges(vertex_id n,
 }
 
 Graph AddRandomWeights(const Graph& g, uint64_t seed) {
+  // The raw spans below bypass a delta overlay; weight the merged view.
+  // (Weights hash the undirected pair, so the overlay view's twin matches
+  // the compacted graph's twin bit for bit.)
+  if (g.has_overlay()) return AddRandomWeights(FlattenOverlay(g), seed);
   vertex_id n = g.num_vertices();
   uint32_t max_w = 2;
   while ((1ull << max_w) < n) ++max_w;  // max_w = ceil(log2 n), at least 2

@@ -1,0 +1,78 @@
+#include "graph/epoch.h"
+
+namespace sage {
+
+EpochManager::EpochManager(Graph initial, uint64_t delta_edges)
+    : shared_(std::make_shared<Shared>()) {
+  current_ = MakeSnapshot(shared_, 0, std::move(initial), delta_edges);
+}
+
+std::shared_ptr<const GraphSnapshot> EpochManager::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->epoch;
+}
+
+uint64_t EpochManager::Advance(Graph next, uint64_t delta_edges) {
+  // Build the snapshot outside mu_ (registration takes shared_->mu), then
+  // swap it in. The superseded snapshot's reference drops here; if no
+  // query holds a pin it retires immediately on this thread.
+  std::shared_ptr<const GraphSnapshot> superseded;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = current_->epoch + 1;
+    superseded = std::move(current_);
+    current_ = MakeSnapshot(shared_, epoch, std::move(next), delta_edges);
+  }
+  return epoch;
+}
+
+size_t EpochManager::live_epochs() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->live.size();
+}
+
+void EpochManager::WaitForRetiredBelow(uint64_t epoch) const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->retired_cv.wait(lock, [&] {
+    return shared_->live.empty() || *shared_->live.begin() >= epoch;
+  });
+}
+
+void EpochManager::SetRetireCallback(RetireCallback callback) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->on_retire = std::move(callback);
+}
+
+std::shared_ptr<const GraphSnapshot> EpochManager::MakeSnapshot(
+    std::shared_ptr<Shared> shared, uint64_t epoch, Graph graph,
+    uint64_t delta_edges) {
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->live.insert(epoch);
+  }
+  auto* snapshot = new GraphSnapshot{epoch, std::move(graph), delta_edges};
+  return std::shared_ptr<const GraphSnapshot>(
+      snapshot, [shared = std::move(shared)](const GraphSnapshot* s) {
+        const uint64_t retired = s->epoch;
+        // Release the graph (and with it any storage the epoch privately
+        // held, e.g. a superseded file mapping) BEFORE announcing
+        // retirement, so waiters observe the mapping already dropped.
+        delete s;
+        RetireCallback callback;
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          shared->live.erase(retired);
+          callback = shared->on_retire;
+        }
+        shared->retired_cv.notify_all();
+        if (callback) callback(retired);
+      });
+}
+
+}  // namespace sage

@@ -1,0 +1,92 @@
+// Epoch/generation management for graph snapshots under live updates.
+//
+// Every Engine::ApplyUpdates / Engine::Compact publishes a new immutable
+// graph view (base, base + overlay, or a recompacted base) as the next
+// epoch. In-flight queries pin the epoch current at submission time and
+// keep reading it for their whole run - snapshot isolation: a query pinned
+// to epoch N never observes epoch N+1 edges.
+//
+// Pinning is reference counting done by shared_ptr: Pin() hands out the
+// current GraphSnapshot, and a custom deleter marks the epoch retired when
+// the last holder (including the manager itself, once Advance supersedes
+// it) drops the snapshot. Retirement releases the snapshot's Graph first,
+// so an epoch whose storage was an mmap-ed image unmaps as soon as its
+// last reader finishes - the compaction hot-swap relies on this to drop
+// the pre-compaction mapping under live traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+#include "graph/graph.h"
+
+namespace sage {
+
+/// One immutable published graph view. `delta_edges` is the cumulative
+/// structural delta of the view's overlay relative to the on-disk base
+/// image (0 for the original image and for freshly compacted epochs).
+struct GraphSnapshot {
+  uint64_t epoch = 0;
+  Graph graph;
+  uint64_t delta_edges = 0;
+};
+
+class EpochManager {
+ public:
+  /// Called with the epoch number each time an epoch fully retires (no
+  /// snapshot holders left). Invoked outside the manager's locks, after
+  /// the snapshot's Graph (and thus any private mapping) is released.
+  using RetireCallback = std::function<void(uint64_t epoch)>;
+
+  /// Starts at epoch 0 serving `initial`.
+  explicit EpochManager(Graph initial, uint64_t delta_edges = 0);
+
+  SAGE_DISALLOW_COPY_AND_ASSIGN(EpochManager);
+
+  /// The current snapshot, pinned: the epoch cannot retire while the
+  /// returned pointer (or any copy) is alive. Safe from any thread.
+  std::shared_ptr<const GraphSnapshot> Pin() const;
+
+  uint64_t current_epoch() const;
+
+  /// Publishes `next` as the new current epoch and returns its number.
+  /// The superseded epoch begins retiring as soon as its last external
+  /// pin drops.
+  uint64_t Advance(Graph next, uint64_t delta_edges);
+
+  /// Epochs with live (unretired) snapshots, the current one included.
+  size_t live_epochs() const;
+
+  /// Blocks until every epoch numbered below `epoch` has fully retired.
+  void WaitForRetiredBelow(uint64_t epoch) const;
+
+  /// Replaces the retire callback (pass nullptr to clear). Applies to
+  /// epochs retiring after the call.
+  void SetRetireCallback(RetireCallback callback);
+
+ private:
+  /// Retirement bookkeeping, shared with every snapshot's deleter so a
+  /// snapshot outliving the manager still retires cleanly.
+  struct Shared {
+    mutable std::mutex mu;
+    mutable std::condition_variable retired_cv;
+    std::set<uint64_t> live;
+    RetireCallback on_retire;
+  };
+
+  static std::shared_ptr<const GraphSnapshot> MakeSnapshot(
+      std::shared_ptr<Shared> shared, uint64_t epoch, Graph graph,
+      uint64_t delta_edges);
+
+  std::shared_ptr<Shared> shared_;
+  mutable std::mutex mu_;  // guards current_
+  std::shared_ptr<const GraphSnapshot> current_;
+};
+
+}  // namespace sage

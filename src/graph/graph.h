@@ -34,6 +34,31 @@
 
 namespace sage {
 
+class DeltaOverlay;  // graph/delta.h: DRAM delta over an NVRAM base image
+
+namespace internal_overlay {
+
+/// View of one overlaid vertex's merged adjacency list (base - deletes +
+/// inserts, sorted, DRAM-resident). POD so graph.h needs no delta.h include;
+/// the accessors below are defined in graph/delta.cc.
+struct OverlayList {
+  const vertex_id* neighbors = nullptr;
+  const weight_t* weights = nullptr;  // nullptr when the graph is unweighted
+  vertex_id degree = 0;
+};
+
+/// Merged list of a touched vertex. Precondition: the overlay's touched bit
+/// for `v` is set (aborts otherwise).
+OverlayList Find(const DeltaOverlay& overlay, vertex_id v);
+/// Bitset of touched vertices, (n + 63) / 64 words.
+const uint64_t* TouchedBits(const DeltaOverlay& overlay);
+/// Directed edges of the overlay view (base m adjusted by the net delta).
+uint64_t OverlayNumEdges(const DeltaOverlay& overlay);
+/// Directed edge slots inserted or deleted relative to the base image.
+uint64_t OverlayDeltaEdges(const DeltaOverlay& overlay);
+
+}  // namespace internal_overlay
+
 /// Backend owning (or keeping alive) the memory behind a Graph's CSR spans.
 /// Implementations must keep the spanned memory valid and immutable for
 /// their own lifetime.
@@ -50,6 +75,13 @@ class GraphStorage {
   /// True when the backing memory is a read-only file mapping charged as
   /// NVRAM-resident (the semi-external setup: the file is the graph).
   virtual bool nvram_resident() const { return false; }
+
+  /// The DRAM delta overlay merged into reads of this storage, or nullptr
+  /// when the CSR spans are the whole graph. Only OverlayGraphStorage
+  /// (graph/delta.h) returns non-null; the overlay must outlive the
+  /// storage. Graph caches this at construction, so every accessor reads
+  /// base + delta transparently.
+  virtual const DeltaOverlay* delta_overlay() const { return nullptr; }
 
   // --- Page-granular advice and residency introspection -----------------
   // Meaningful only for file-mapped backends (MappedGraphStorage), which
@@ -138,6 +170,13 @@ class Graph {
     SAGE_CHECK(!offsets_.empty());
     SAGE_CHECK(offsets_.back() == neighbors_.size());
     SAGE_CHECK(weights_.empty() || weights_.size() == neighbors_.size());
+    overlay_ = storage_->delta_overlay();
+    if (overlay_ != nullptr) {
+      overlay_bits_ = internal_overlay::TouchedBits(*overlay_);
+      num_edges_ = internal_overlay::OverlayNumEdges(*overlay_);
+    } else {
+      num_edges_ = neighbors_.size();
+    }
   }
 
   /// Number of vertices n.
@@ -145,8 +184,9 @@ class Graph {
     return static_cast<vertex_id>(offsets_.size() - 1);
   }
 
-  /// Number of directed edges stored (2m for a symmetrized graph).
-  edge_offset num_edges() const { return neighbors_.size(); }
+  /// Number of directed edges stored (2m for a symmetrized graph),
+  /// including the net effect of a delta overlay.
+  edge_offset num_edges() const { return num_edges_; }
 
   /// True if every edge (u,v) has its reverse (v,u) present.
   bool symmetric() const { return symmetric_; }
@@ -161,9 +201,14 @@ class Graph {
                   : static_cast<double>(num_edges()) / static_cast<double>(n);
   }
 
-  /// Degree of v. Charges one graph-region read (the offset words).
+  /// Degree of v. Charges one graph-region read (the offset words), or one
+  /// DRAM work read when v's list lives in the delta overlay.
   vertex_id degree(vertex_id v) const {
     SAGE_DCHECK(v < num_vertices());
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      nvram::Cost().ChargeWorkRead(1, v);
+      return OverlayOf(v).degree;
+    }
     nvram::Cost().ChargeGraphRead(1, v);
     return static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
   }
@@ -171,19 +216,32 @@ class Graph {
   /// Degree without charging; for internal size computations whose cost is
   /// already accounted at a coarser granularity.
   vertex_id degree_uncharged(vertex_id v) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) return OverlayOf(v).degree;
     return static_cast<vertex_id>(offsets_[v + 1] - offsets_[v]);
   }
 
   /// Weight of the i-th edge of v (1 for unweighted graphs). The caller's
   /// neighborhood charge covers this read.
   weight_t weight_at(vertex_id v, vertex_id i) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      return l.weights == nullptr ? weight_t{1} : l.weights[i];
+    }
     return weights_.empty() ? 1 : weights_[offsets_[v] + i];
   }
 
   /// Applies f(v, neighbor, weight) to each edge out of v, sequentially.
-  /// Charges the whole adjacency list as one graph read.
+  /// Charges the whole adjacency list as one graph read (one DRAM work
+  /// read of the same word count when v lives in the delta overlay).
   template <typename F>
   void MapNeighbors(vertex_id v, const F& f) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      ChargeOverlayNeighborhood(v, l.degree);
+      for (vertex_id i = 0; i < l.degree; ++i)
+        f(v, l.neighbors[i], l.weights == nullptr ? weight_t{1} : l.weights[i]);
+      return;
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     ChargeNeighborhood(v, hi - lo);
     if (weights_.empty()) {
@@ -198,6 +256,15 @@ class Graph {
   /// charges the worst case; early exits are a constant-factor refinement).
   template <typename F>
   bool MapNeighborsWhile(vertex_id v, const F& f) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      ChargeOverlayNeighborhood(v, l.degree);
+      for (vertex_id i = 0; i < l.degree; ++i) {
+        weight_t w = l.weights == nullptr ? weight_t{1} : l.weights[i];
+        if (!f(v, l.neighbors[i], w)) return false;
+      }
+      return true;
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     ChargeNeighborhood(v, hi - lo);
     for (edge_offset i = lo; i < hi; ++i) {
@@ -213,6 +280,15 @@ class Graph {
   template <typename F>
   void MapNeighborsRange(vertex_id v, edge_offset begin, edge_offset end,
                          const F& f) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      SAGE_DCHECK(end <= l.degree);
+      uint64_t words = 1 + (end - begin) + (weights_.empty() ? 0 : end - begin);
+      nvram::Cost().ChargeWorkRead(words, offsets_[v] + begin);
+      for (edge_offset i = begin; i < end; ++i)
+        f(v, l.neighbors[i], l.weights == nullptr ? weight_t{1} : l.weights[i]);
+      return;
+    }
     edge_offset lo = offsets_[v] + begin, hi = offsets_[v] + end;
     SAGE_DCHECK(hi <= offsets_[v + 1]);
     uint64_t words = 1 + (hi - lo) + (weights_.empty() ? 0 : hi - lo);
@@ -228,6 +304,15 @@ class Graph {
   /// vertices in dense traversals and per-vertex reductions).
   template <typename F>
   void MapNeighborsParallel(vertex_id v, const F& f) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      ChargeOverlayNeighborhood(v, l.degree);
+      parallel_for(0, l.degree, [&](size_t i) {
+        weight_t w = l.weights == nullptr ? weight_t{1} : l.weights[i];
+        f(v, l.neighbors[i], w);
+      });
+      return;
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     ChargeNeighborhood(v, hi - lo);
     parallel_for(lo, hi, [&](size_t i) {
@@ -239,6 +324,17 @@ class Graph {
   /// Reduces g(v, u, w) over v's neighborhood with a parallel monoid reduce.
   template <typename T, typename G, typename Op>
   T ReduceNeighbors(vertex_id v, const G& g, const Op& op, T id) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      ChargeOverlayNeighborhood(v, l.degree);
+      return reduce(
+          static_cast<size_t>(l.degree),
+          [&](size_t i) {
+            weight_t w = l.weights == nullptr ? weight_t{1} : l.weights[i];
+            return g(v, l.neighbors[i], w);
+          },
+          op, id);
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     ChargeNeighborhood(v, hi - lo);
     return reduce_uncharged<T>(v, lo, hi, g, op, id);
@@ -246,6 +342,11 @@ class Graph {
 
   /// Raw sorted neighbor ids of v (for intersections). Charges the list.
   std::span<const vertex_id> Neighbors(vertex_id v) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      ChargeOverlayNeighborhood(v, l.degree);
+      return {l.neighbors, static_cast<size_t>(l.degree)};
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     ChargeNeighborhood(v, hi - lo);
     return {neighbors_.data() + lo, static_cast<size_t>(hi - lo)};
@@ -254,6 +355,10 @@ class Graph {
   /// Neighbor ids without charging (when the caller already charged, e.g.
   /// block decoding in the graph filter).
   std::span<const vertex_id> NeighborsUncharged(vertex_id v) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) {
+      internal_overlay::OverlayList l = OverlayOf(v);
+      return {l.neighbors, static_cast<size_t>(l.degree)};
+    }
     edge_offset lo = offsets_[v], hi = offsets_[v + 1];
     return {neighbors_.data() + lo, static_cast<size_t>(hi - lo)};
   }
@@ -261,6 +366,7 @@ class Graph {
   /// The neighbor at absolute position (v, i); uncharged (block-granular
   /// callers charge once per block).
   vertex_id NeighborAt(vertex_id v, edge_offset i) const {
+    if (SAGE_UNLIKELY(Overlaid(v))) return OverlayOf(v).neighbors[i];
     return neighbors_[offsets_[v] + i];
   }
 
@@ -277,6 +383,18 @@ class Graph {
     return storage_ != nullptr && storage_->nvram_resident();
   }
 
+  /// True when reads merge a DRAM delta overlay over the base CSR (the
+  /// storage is an OverlayGraphStorage; see graph/delta.h). Writers that
+  /// serialize via the raw spans must FlattenOverlay() first.
+  bool has_overlay() const { return overlay_ != nullptr; }
+
+  /// Directed edge slots inserted or deleted by the overlay relative to
+  /// the base image (0 for overlay-free graphs).
+  uint64_t delta_edges() const {
+    return overlay_ == nullptr ? 0
+                               : internal_overlay::OverlayDeltaEdges(*overlay_);
+  }
+
   /// The storage backend (shared: keeps the mapping alive for holders that
   /// outlive this Graph object, e.g. the prefetch pipeline).
   std::shared_ptr<const GraphStorage> storage() const { return storage_; }
@@ -289,10 +407,31 @@ class Graph {
   }
 
  private:
+  /// True when v's adjacency list lives in the delta overlay. Hot-path
+  /// inline: a null check plus one bitset probe for overlay graphs, a
+  /// single null check for overlay-free graphs.
+  bool Overlaid(vertex_id v) const {
+    return overlay_ != nullptr &&
+           ((overlay_bits_[v >> 6] >> (v & 63)) & 1ull) != 0;
+  }
+
+  internal_overlay::OverlayList OverlayOf(vertex_id v) const {
+    return internal_overlay::Find(*overlay_, v);
+  }
+
   void ChargeNeighborhood(vertex_id v, edge_offset deg) const {
     // Offset word + neighbor words (+ weight words when present).
     uint64_t words = 1 + deg + (weights_.empty() ? 0 : deg);
     nvram::Cost().ChargeGraphRead(words, offsets_[v]);
+  }
+
+  /// Same word count as ChargeNeighborhood, charged as a DRAM work read:
+  /// overlaid lists live in DRAM while the base stays NVRAM-resident, and
+  /// the identical word count keeps the overlay view's total PSAM reads
+  /// bit-identical to the compacted graph's.
+  void ChargeOverlayNeighborhood(vertex_id v, uint64_t deg) const {
+    uint64_t words = 1 + deg + (weights_.empty() ? 0 : deg);
+    nvram::Cost().ChargeWorkRead(words, offsets_[v]);
   }
 
   template <typename T, typename G, typename Op>
@@ -313,6 +452,12 @@ class Graph {
   std::span<const edge_offset> offsets_;
   std::span<const vertex_id> neighbors_;
   std::span<const weight_t> weights_;
+  /// Delta overlay of the storage (cached; owned by storage_) and its
+  /// touched bitset; nullptr for overlay-free graphs.
+  const DeltaOverlay* overlay_ = nullptr;
+  const uint64_t* overlay_bits_ = nullptr;
+  /// Directed edges of the view (== neighbors_.size() without an overlay).
+  edge_offset num_edges_ = 0;
   bool symmetric_ = false;
 };
 

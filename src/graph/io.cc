@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/builder.h"
+#include "graph/delta.h"
 
 namespace sage {
 
@@ -160,6 +161,9 @@ Result<Graph> ReadAdjacencyGraph(const std::string& path, bool symmetric) {
 }
 
 Status WriteAdjacencyGraph(const Graph& g, const std::string& path) {
+  // The raw spans below are the base image only for overlay graphs:
+  // materialize the merged view first.
+  if (g.has_overlay()) return WriteAdjacencyGraph(FlattenOverlay(g), path);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const auto& offsets = g.raw_offsets();

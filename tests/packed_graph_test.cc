@@ -1,0 +1,99 @@
+// Unit tests for baselines::PackedGraph, the GBBS-style mutable CSR copy:
+// construction fidelity, degree/neighbor accessors, iteration over empty
+// and isolated vertices, edge counting, and filtering semantics. (The
+// baselines suite covers packing's cost signature; this suite pins the
+// container's basic behavior.)
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/packed_graph.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace sage::baselines {
+namespace {
+
+// Path 0-1-2, edge 3-4, isolated 5 (symmetric, m = 6).
+Graph PathGraph() {
+  return GraphBuilder::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+}
+
+TEST(PackedGraph, ConstructionCopiesStructure) {
+  Graph g = RmatGraph(8, 1500, /*seed=*/7);
+  PackedGraph pg(g);
+  ASSERT_EQ(pg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(pg.num_edges(), g.num_edges());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(pg.degree_uncharged(v), g.degree_uncharged(v)) << "vertex " << v;
+    auto expected = g.NeighborsUncharged(v);
+    auto actual = pg.Neighbors(v);
+    ASSERT_EQ(actual.size(), expected.size()) << "vertex " << v;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(PackedGraph, DegreeAccessorsAgree) {
+  PackedGraph pg(PathGraph());
+  EXPECT_EQ(pg.degree(0), 1u);
+  EXPECT_EQ(pg.degree(1), 2u);
+  EXPECT_EQ(pg.degree_uncharged(1), 2u);
+  EXPECT_EQ(pg.degree(5), 0u);
+  EXPECT_EQ(pg.num_edges(), 6u);
+}
+
+TEST(PackedGraph, MapNeighborsVisitsLiveEdgesInOrder) {
+  PackedGraph pg(PathGraph());
+  std::vector<std::pair<vertex_id, vertex_id>> seen;
+  pg.MapNeighbors(1, [&](vertex_id v, vertex_id u) { seen.emplace_back(v, u); });
+  EXPECT_EQ(seen, (std::vector<std::pair<vertex_id, vertex_id>>{{1, 0},
+                                                                {1, 2}}));
+}
+
+TEST(PackedGraph, IsolatedAndEmptyVerticesIterateAsEmpty) {
+  PackedGraph pg(PathGraph());
+  int visits = 0;
+  pg.MapNeighbors(5, [&](vertex_id, vertex_id) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_TRUE(pg.Neighbors(5).empty());
+
+  // A graph that is all isolated vertices.
+  Graph empty = GraphBuilder::FromEdges(4, {});
+  PackedGraph pe(empty);
+  EXPECT_EQ(pe.num_vertices(), 4u);
+  EXPECT_EQ(pe.num_edges(), 0u);
+  for (vertex_id v = 0; v < 4; ++v) EXPECT_EQ(pe.degree_uncharged(v), 0u);
+}
+
+TEST(PackedGraph, FilterEdgesPacksEveryVertexAndCounts) {
+  Graph g = CompleteGraph(10);  // every degree 9
+  PackedGraph pg(g);
+  // Keep only edges into even vertices.
+  uint64_t remaining =
+      pg.FilterEdges([](vertex_id, vertex_id u) { return u % 2 == 0; });
+  EXPECT_EQ(pg.num_edges(), remaining);
+  for (vertex_id v = 0; v < pg.num_vertices(); ++v) {
+    // Even vertices keep their 4 even neighbors (not themselves); odd keep 5.
+    EXPECT_EQ(pg.degree_uncharged(v), v % 2 == 0 ? 4u : 5u) << "vertex " << v;
+    for (vertex_id u : pg.Neighbors(v)) EXPECT_EQ(u % 2, 0u);
+  }
+  // Packing is monotone: filtering again with the same predicate is a no-op.
+  EXPECT_EQ(pg.FilterEdges([](vertex_id, vertex_id u) { return u % 2 == 0; }),
+            remaining);
+
+  // Filtering everything leaves a structurally empty graph that still
+  // iterates cleanly.
+  EXPECT_EQ(pg.FilterEdges([](vertex_id, vertex_id) { return false; }), 0u);
+  int visits = 0;
+  for (vertex_id v = 0; v < pg.num_vertices(); ++v) {
+    pg.MapNeighbors(v, [&](vertex_id, vertex_id) { ++visits; });
+  }
+  EXPECT_EQ(visits, 0);
+}
+
+}  // namespace
+}  // namespace sage::baselines
