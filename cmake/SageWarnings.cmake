@@ -9,6 +9,9 @@
 #                           should not be able to break the build on a new
 #                           compiler's warning additions).
 
+option(SAGE_THREAD_SAFETY
+  "Enable Clang -Wthread-safety analysis (no-op for other compilers)" ON)
+
 add_library(sage_warnings INTERFACE)
 add_library(sage::warnings ALIAS sage_warnings)
 
@@ -25,6 +28,14 @@ if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     -Wcast-qual
     -Wformat=2
     -Wundef)
+  # The thread-safety analysis group is Clang-only (GCC has no equivalent
+  # and would reject the flag); the annotation macros in
+  # common/thread_annotations.h expand empty elsewhere, so GCC lanes stay
+  # green with no analysis. SageThreadSafety.cmake escalates the group to
+  # -Werror for library code and documents the annotation policy.
+  if(SAGE_THREAD_SAFETY AND CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    list(APPEND _sage_warning_flags -Wthread-safety)
+  endif()
   target_compile_options(sage_warnings INTERFACE ${_sage_warning_flags})
   target_compile_options(sage_warnings_werror INTERFACE ${_sage_warning_flags})
   if(SAGE_WERROR)

@@ -1,0 +1,631 @@
+#!/usr/bin/env python3
+"""sage_lint: project-invariant linter for the Sage tree.
+
+Sage's correctness conventions are not all expressible to the compiler:
+PSAM charges must flow through the per-run execution context, per-thread
+scratch must index by shard id (not worker id), varint decoding must be
+bounds-checked, and hot paths must not allocate with naked new. This linter
+makes those conventions fail the build.
+
+Checks (each with an allowlist file under scripts/lint_allow/):
+
+  no-global-cost-model      No direct CostModel/MemoryTracker construction
+                            or global-accessor use in algorithm/graph/core/
+                            parallel/baseline code; charges go through the
+                            per-run nvram::Cost()/Memory() context.
+  scratch-by-shard-id       No worker_id()-indexed scratch and no arrays
+                            sized [kMaxWorkers] outside the scheduler
+                            internals; use shard_id()/kMaxShards (foreign
+                            threads all alias worker id 0 - the PR 5
+                            help-while-waiting aliasing bug class).
+  no-unbounded-varint       Only VarintDecodeBounded; an unbounded decode
+                            can read past a truncated/corrupt image.
+  no-naked-new-in-hot-paths No naked new in algorithms/core/parallel/
+                            graph/nvram; chunked traversal memory comes
+                            from ChunkPool, everything else from owning
+                            containers. Intentional singletons/COW sites
+                            are allowlisted.
+  status-must-be-used       common/status.h must declare Status and
+                            Result<T> class-level [[nodiscard]], so the
+                            compiler rejects silently dropped errors
+                            tree-wide.
+
+Engine: drives libclang when available (python bindings + shared library);
+falls back to a comment-stripping regex scanner otherwise. The two engines
+agree on this tree; the regex path is the one exercised in environments
+without clang.
+
+Usage:
+  scripts/sage_lint.py [paths...]        lint (default: src/)
+  scripts/sage_lint.py --ci              lint src/, exit 1 on any finding
+  scripts/sage_lint.py --self-test       run the tests/lint_corpus corpus
+  scripts/sage_lint.py --list-checks     print check names and exit
+
+Allowlists: scripts/lint_allow/<check>.allow, one entry per line:
+  <repo-relative-path> [|| <line substring>]
+Entries without a substring allowlist the whole file for that check.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ALLOW_DIR = os.path.join(REPO_ROOT, "scripts", "lint_allow")
+CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "lint_corpus")
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+class Finding:
+    def __init__(self, check, path, line, text, message, fix):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.text = text
+        self.message = message
+        self.fix = fix
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        out = "%s:%d: [%s] %s" % (rel, self.line, self.check, self.message)
+        if self.fix:
+            out += "\n    fix: %s" % self.fix
+        return out
+
+
+def strip_comments_and_strings(lines):
+    """Returns lines with //, /* */ comments and string/char literals
+    blanked (lengths preserved, so columns and line numbers stay true)."""
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    res.append("  ")
+                    i += 2
+                else:
+                    res.append(" ")
+                    i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                res.append(" " * (n - i))
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                res.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                res.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        res.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        res.append(quote)
+                        i += 1
+                        break
+                    res.append(" ")
+                    i += 1
+                continue
+            res.append(c)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Check definitions
+# ---------------------------------------------------------------------------
+
+
+def _in_dirs(rel, dirs):
+    rel = rel.replace(os.sep, "/")
+    return any(rel.startswith(d + "/") for d in dirs)
+
+
+class Check:
+    name = ""
+    description = ""
+
+    def applies(self, rel):
+        raise NotImplementedError
+
+    def scan(self, path, raw_lines, code_lines):
+        """Yields Finding objects. `code_lines` has comments/strings
+        blanked; `raw_lines` is the file as written."""
+        raise NotImplementedError
+
+
+class NoGlobalCostModel(Check):
+    name = "no-global-cost-model"
+    description = (
+        "cost/memory accounting must flow through the per-run "
+        "nvram::Cost()/Memory() execution context"
+    )
+    SCOPE = [
+        "src/algorithms",
+        "src/graph",
+        "src/core",
+        "src/parallel",
+        "src/baselines",
+    ]
+    GLOBAL_ACCESSOR = re.compile(r"\b(?:nvram::)?(CostModel|MemoryTracker)::Get\s*\(")
+    VALUE_DECL = re.compile(
+        r"(?<![\w:])(?:nvram::)?(CostModel|MemoryTracker)\s+\w+\s*[;({=]"
+    )
+    NEW_EXPR = re.compile(r"\bnew\s+(?:nvram::)?(CostModel|MemoryTracker)\b")
+
+    def applies(self, rel):
+        return _in_dirs(rel, self.SCOPE)
+
+    def scan(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, 1):
+            m = (
+                self.GLOBAL_ACCESSOR.search(line)
+                or self.NEW_EXPR.search(line)
+                or self.VALUE_DECL.search(line)
+            )
+            if m:
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "direct %s use outside the execution context" % m.group(1),
+                    "charge through nvram::Cost() / nvram::Memory() (routed "
+                    "per run via the scheduler task tag); plumb an explicit "
+                    "%s* only for non-owning routing" % m.group(1),
+                )
+
+
+class ScratchByShardId(Check):
+    name = "scratch-by-shard-id"
+    description = (
+        "per-thread scratch must index by shard_id() in [0, kMaxShards), "
+        "never worker_id() (foreign threads alias id 0)"
+    )
+    SCOPE = ["src"]
+    EXEMPT = ["src/parallel/scheduler.h", "src/parallel/scheduler.cc"]
+    WORKER_ID = re.compile(r"\bworker_id\s*\(\s*\)")
+    MAX_WORKERS_ARRAY = re.compile(r"\[\s*(?:Scheduler::)?kMaxWorkers\s*\]")
+
+    def applies(self, rel):
+        rel = rel.replace(os.sep, "/")
+        return _in_dirs(rel, self.SCOPE) and rel not in self.EXEMPT
+
+    def scan(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, 1):
+            if self.WORKER_ID.search(line):
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "worker_id() used outside scheduler internals",
+                    "use Scheduler::shard_id() (unique per concurrent "
+                    "thread); worker ids alias 0 for every foreign thread",
+                )
+            if self.MAX_WORKERS_ARRAY.search(line):
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "per-thread array sized [kMaxWorkers]",
+                    "size per-thread scratch [Scheduler::kMaxShards] and "
+                    "index by Scheduler::shard_id()",
+                )
+
+
+class NoUnboundedVarint(Check):
+    name = "no-unbounded-varint"
+    description = "varint decoding must be bounds-checked"
+    UNBOUNDED = re.compile(r"\bVarintDecode(?!Bounded)\s*\(")
+
+    def applies(self, rel):
+        return _in_dirs(rel, ["src", "tests", "bench", "examples"])
+
+    def scan(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, 1):
+            if self.UNBOUNDED.search(line):
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "unbounded varint decode",
+                    "use VarintDecodeBounded(p, end, &value) and handle the "
+                    "false (truncated input) case",
+                )
+
+
+class NoNakedNewInHotPaths(Check):
+    name = "no-naked-new-in-hot-paths"
+    description = (
+        "hot-path code allocates from ChunkPool or owning containers, "
+        "not naked new"
+    )
+    SCOPE = [
+        "src/algorithms",
+        "src/core",
+        "src/parallel",
+        "src/graph",
+        "src/nvram",
+    ]
+    NEW_EXPR = re.compile(r"\bnew\s+(?:\(\s*std::nothrow\s*\)\s*)?[A-Za-z_(]")
+
+    def applies(self, rel):
+        return _in_dirs(rel, self.SCOPE)
+
+    def scan(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, 1):
+            if self.NEW_EXPR.search(line):
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "naked new in a hot-path directory",
+                    "use std::make_unique / a container / ChunkPool::Alloc; "
+                    "if this allocation is intentional (singleton, COW "
+                    "publication), add an allowlist entry with a reason",
+                )
+
+
+class StatusMustBeUsed(Check):
+    name = "status-must-be-used"
+    description = (
+        "Status / Result<T> must be declared class-level [[nodiscard]] so "
+        "dropped errors fail compilation"
+    )
+    DECL = re.compile(
+        r"^\s*(?:template\s*<[^>]*>\s*)?class\s+"
+        r"(?!\[\[nodiscard\]\])(Status|Result)\s*(?:\{|$)"
+    )
+
+    def applies(self, rel):
+        return _in_dirs(rel, ["src"])
+
+    def scan(self, path, raw_lines, code_lines):
+        for i, line in enumerate(code_lines, 1):
+            m = self.DECL.search(line)
+            if m:
+                yield Finding(
+                    self.name,
+                    path,
+                    i,
+                    raw_lines[i - 1],
+                    "class %s declared without [[nodiscard]]" % m.group(1),
+                    "declare as `class [[nodiscard]] %s` so every "
+                    "discarded return is a compiler error" % m.group(1),
+                )
+
+
+CHECKS = [
+    NoGlobalCostModel(),
+    ScratchByShardId(),
+    NoUnboundedVarint(),
+    NoNakedNewInHotPaths(),
+    StatusMustBeUsed(),
+]
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang engine
+# ---------------------------------------------------------------------------
+
+
+def try_libclang():
+    """Returns a clang.cindex.Index or None when libclang is unusable."""
+    try:
+        from clang import cindex  # type: ignore
+
+        return cindex.Index.create()
+    except Exception:
+        return None
+
+
+def libclang_findings(index, path, checks):
+    """AST-accurate versions of the expression-level checks. Returns None
+    when parsing fails (caller falls back to regex)."""
+    try:
+        from clang import cindex  # type: ignore
+
+        tu = index.parse(path, args=["-std=c++20", "-I" + os.path.join(REPO_ROOT, "src")])
+        if tu is None:
+            return None
+    except Exception:
+        return None
+
+    wanted = {c.name for c in checks}
+    findings = []
+
+    def visit(node):
+        try:
+            if node.location.file is None or node.location.file.name != path:
+                for child in node.get_children():
+                    visit(child)
+                return
+            kind = node.kind
+            if (
+                "no-naked-new-in-hot-paths" in wanted
+                and kind == cindex.CursorKind.CXX_NEW_EXPR
+            ):
+                findings.append(
+                    Finding(
+                        "no-naked-new-in-hot-paths",
+                        path,
+                        node.location.line,
+                        "",
+                        "naked new in a hot-path directory",
+                        "use std::make_unique / a container / "
+                        "ChunkPool::Alloc, or allowlist with a reason",
+                    )
+                )
+            if (
+                "scratch-by-shard-id" in wanted
+                and kind == cindex.CursorKind.CALL_EXPR
+                and node.spelling == "worker_id"
+            ):
+                findings.append(
+                    Finding(
+                        "scratch-by-shard-id",
+                        path,
+                        node.location.line,
+                        "",
+                        "worker_id() used outside scheduler internals",
+                        "use Scheduler::shard_id()",
+                    )
+                )
+            if (
+                "no-global-cost-model" in wanted
+                and kind == cindex.CursorKind.VAR_DECL
+            ):
+                t = node.type.spelling
+                if re.search(r"\b(CostModel|MemoryTracker)$", t):
+                    findings.append(
+                        Finding(
+                            "no-global-cost-model",
+                            path,
+                            node.location.line,
+                            "",
+                            "direct %s construction" % t,
+                            "charge through nvram::Cost() / nvram::Memory()",
+                        )
+                    )
+        except Exception:
+            pass
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    return findings
+
+
+AST_CHECKS = {"no-naked-new-in-hot-paths"}  # checks the AST engine replaces
+
+
+# ---------------------------------------------------------------------------
+# Allowlists
+# ---------------------------------------------------------------------------
+
+
+def load_allowlist(check_name):
+    """Returns a list of (path, substring-or-None) entries."""
+    path = os.path.join(ALLOW_DIR, check_name + ".allow")
+    entries = []
+    if not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "||" in line:
+                p, _, sub = line.partition("||")
+                entries.append((p.strip(), sub.strip()))
+            else:
+                entries.append((line, None))
+    return entries
+
+
+def is_allowlisted(finding, allowlists, root):
+    rel = os.path.relpath(finding.path, root).replace(os.sep, "/")
+    for path, sub in allowlists.get(finding.check, []):
+        if rel != path and not rel.endswith("/" + path):
+            continue
+        if sub is None or sub in finding.text:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(os.path.abspath(p))
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [d for d in dirnames if d not in (".git", "build")]
+            for name in filenames:
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(set(files))
+
+
+def lint_file(path, checks, index):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        print("sage_lint: cannot read %s: %s" % (path, e), file=sys.stderr)
+        return []
+    code_lines = strip_comments_and_strings(raw_lines)
+
+    findings = []
+    regex_checks = list(checks)
+    if index is not None:
+        ast_checks = [c for c in checks if c.name in AST_CHECKS]
+        if ast_checks:
+            ast = libclang_findings(index, path, ast_checks)
+            if ast is not None:
+                for f in ast:
+                    ln = f.line - 1
+                    f.text = raw_lines[ln] if 0 <= ln < len(raw_lines) else ""
+                findings.extend(ast)
+                regex_checks = [c for c in checks if c.name not in AST_CHECKS]
+    for check in regex_checks:
+        findings.extend(check.scan(path, raw_lines, code_lines))
+    return findings
+
+
+def run_lint(paths, engine, root):
+    index = try_libclang() if engine in ("auto", "libclang") else None
+    if engine == "libclang" and index is None:
+        print(
+            "sage_lint: libclang requested but unavailable; falling back "
+            "to the regex engine",
+            file=sys.stderr,
+        )
+    allowlists = {c.name: load_allowlist(c.name) for c in CHECKS}
+    findings = []
+    for path in collect_files(paths):
+        rel = os.path.relpath(path, root)
+        active = [c for c in CHECKS if c.applies(rel)]
+        if not active:
+            continue
+        for f in lint_file(path, active, index):
+            if not is_allowlisted(f, allowlists, root):
+                findings.append(f)
+    return findings
+
+
+def run_self_test(engine):
+    """Corpus contract: every bad_*.cc yields >= 1 finding of its check,
+    every good_*.cc yields zero (allowlists are NOT applied, so the corpus
+    pins the raw check behavior)."""
+    index = try_libclang() if engine in ("auto", "libclang") else None
+    failures = []
+    cases = 0
+    by_name = {c.name: c for c in CHECKS}
+    if not os.path.isdir(CORPUS_DIR):
+        print("sage_lint --self-test: missing corpus dir %s" % CORPUS_DIR)
+        return 1
+    for check_name in sorted(os.listdir(CORPUS_DIR)):
+        check = by_name.get(check_name)
+        check_dir = os.path.join(CORPUS_DIR, check_name)
+        if not os.path.isdir(check_dir):
+            continue
+        if check is None:
+            failures.append("corpus dir %s matches no check" % check_name)
+            continue
+        good = bad = 0
+        for name in sorted(os.listdir(check_dir)):
+            if not name.endswith(CXX_EXTENSIONS):
+                continue
+            path = os.path.join(check_dir, name)
+            found = [
+                f
+                for f in lint_file(path, [check], index)
+                if f.check == check_name
+            ]
+            cases += 1
+            if name.startswith("bad_"):
+                bad += 1
+                if not found:
+                    failures.append(
+                        "%s/%s: expected >= 1 %s finding, got 0"
+                        % (check_name, name, check_name)
+                    )
+            elif name.startswith("good_"):
+                good += 1
+                if found:
+                    failures.append(
+                        "%s/%s: expected 0 findings, got %d (first: %s)"
+                        % (check_name, name, len(found), found[0].message)
+                    )
+            else:
+                failures.append(
+                    "%s/%s: corpus files must be good_*.* or bad_*.*"
+                    % (check_name, name)
+                )
+        if good < 2 or bad < 2:
+            failures.append(
+                "%s: corpus needs >= 2 good and >= 2 bad cases (has %d/%d)"
+                % (check_name, good, bad)
+            )
+    for name in by_name:
+        if not os.path.isdir(os.path.join(CORPUS_DIR, name)):
+            failures.append("check %s has no corpus directory" % name)
+    if failures:
+        print("sage_lint --self-test: FAIL (%d case(s))" % len(failures))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("sage_lint --self-test: PASS (%d corpus cases)" % cases)
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="sage_lint.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("paths", nargs="*", help="files/dirs (default: src/)")
+    parser.add_argument(
+        "--ci", action="store_true", help="lint src/ and fail on any finding"
+    )
+    parser.add_argument(
+        "--self-test", action="store_true", help="run the lint corpus"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "regex", "libclang"],
+        default="auto",
+        help="analysis engine (auto: libclang when importable, else regex)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print check names"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for c in CHECKS:
+            print("%-26s %s" % (c.name, c.description))
+        return 0
+    if args.self_test:
+        return run_self_test(args.engine)
+
+    paths = args.paths or [os.path.join(REPO_ROOT, "src")]
+    findings = run_lint(paths, args.engine, REPO_ROOT)
+    for f in findings:
+        print(f.render(REPO_ROOT))
+    if findings:
+        print(
+            "sage_lint: %d finding(s); fix, or allowlist with a reason in "
+            "scripts/lint_allow/<check>.allow" % len(findings)
+        )
+        return 1
+    if not args.ci:
+        print("sage_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

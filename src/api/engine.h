@@ -64,6 +64,7 @@
 
 #include "api/query_service.h"
 #include "api/registry.h"
+#include "common/thread_annotations.h"
 #include "graph/binary_format.h"
 #include "graph/builder.h"
 #include "graph/delta.h"
@@ -119,6 +120,9 @@ class Engine {
     if (!graph.ok()) return graph.status();
     Engine engine(graph.TakeValue(), ctx);
     if (engine.state_->graph.nvram_resident()) {
+      // The engine is not yet shared, but the guard is cheap and keeps the
+      // image_path invariant checkable.
+      MutexLock lock(engine.state_->update_mu);
       engine.state_->image_path = path;
     }
     return engine;
@@ -164,11 +168,11 @@ class Engine {
       }
     }
     if (updates.empty()) {
-      std::lock_guard<std::mutex> lock(s.update_mu);
+      MutexLock lock(s.update_mu);
       return UpdateStats{s.epochs->current_epoch(), 0, CurrentDeltaLocked(s)};
     }
     const uint64_t seq = s.delta_log.Append(updates);
-    std::lock_guard<std::mutex> lock(s.update_mu);
+    MutexLock lock(s.update_mu);
     if (s.applied_seq >= seq) {
       // A concurrent writer's group commit drained this batch already; the
       // current epoch serves it.
@@ -176,14 +180,14 @@ class Engine {
     }
     uint64_t last = s.applied_seq;
     std::vector<EdgeUpdate> batch = s.delta_log.Drain(&last);
-    Result<std::shared_ptr<const DeltaOverlay>> next = [&] {
+    {
       // The parallel merge must not race a width-changing run's pool
       // rebuild (same discipline as the weighted-twin synthesis).
       internal::SchedulerWidthGuard width_guard;
-      return ApplyUpdateBatch(s.base, s.overlay, batch);
-    }();
-    if (!next.ok()) return next.status();  // unreachable: validated above
-    s.overlay = next.TakeValue();
+      auto next = ApplyUpdateBatch(s.base, s.overlay, batch);
+      if (!next.ok()) return next.status();  // unreachable: validated above
+      s.overlay = next.TakeValue();
+    }
     s.applied_seq = last;
     uint64_t epoch = s.epochs->Advance(MakeOverlayGraph(s.base, s.overlay),
                                        s.overlay->delta_edges());
@@ -207,7 +211,7 @@ class Engine {
   /// there is nothing to merge. Safe from any thread.
   Result<CompactionStats> Compact() {
     State& s = *state_;
-    std::lock_guard<std::mutex> lock(s.update_mu);
+    MutexLock lock(s.update_mu);
     uint64_t last = s.applied_seq;
     std::vector<EdgeUpdate> pending = s.delta_log.Drain(&last);
     std::shared_ptr<const DeltaOverlay> overlay = s.overlay;
@@ -323,38 +327,39 @@ class Engine {
     /// Cached weighted twins for weighted algorithms on unweighted inputs,
     /// one per weight seed. Twins are pointer-stable: a run may hold a
     /// reference while another seed synthesizes.
-    std::mutex twins_mu;
-    std::unordered_map<uint64_t, std::unique_ptr<Graph>> twins;
+    Mutex twins_mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Graph>> twins
+        SAGE_GUARDED_BY(twins_mu);
     std::once_flag service_once;
     std::unique_ptr<QueryService> service;
 
     // --- Dynamic-update state (guarded by update_mu except delta_log,
     // --- which is internally synchronized) -------------------------------
-    std::mutex update_mu;
+    Mutex update_mu;
     /// Current overlay-free base (the construction graph until the first
     /// compaction swaps in a merged one).
-    Graph base;
+    Graph base SAGE_GUARDED_BY(update_mu);
     /// Overlay of updates applied since the last compaction; nullptr when
     /// the base is clean.
-    std::shared_ptr<const DeltaOverlay> overlay;
+    std::shared_ptr<const DeltaOverlay> overlay SAGE_GUARDED_BY(update_mu);
     /// .bsadj path backing `base` when it is a file mapping ("" otherwise);
     /// Compact() rewrites it.
-    std::string image_path;
+    std::string image_path SAGE_GUARDED_BY(update_mu);
     /// Sharded concurrent log of appended-but-uncommitted updates.
     DeltaLog delta_log;
     /// Highest log sequence folded into the current overlay/base.
-    uint64_t applied_seq = 0;
+    uint64_t applied_seq SAGE_GUARDED_BY(update_mu) = 0;
     std::unique_ptr<EpochManager> epochs;
   };
 
-  static uint64_t CurrentDeltaLocked(State& s) {
+  static uint64_t CurrentDeltaLocked(State& s) SAGE_REQUIRES(s.update_mu) {
     return s.overlay == nullptr ? 0 : s.overlay->delta_edges();
   }
 
   static const Graph* WeightedTwinFor(State& s, uint64_t seed) {
     if (s.graph.weighted()) return &s.graph;
     {
-      std::lock_guard<std::mutex> lock(s.twins_mu);
+      MutexLock lock(s.twins_mu);
       auto it = s.twins.find(seed);
       if (it != s.twins.end()) return it->second.get();
       // Never evict: in-flight runs may hold references to cached twins,
@@ -371,7 +376,7 @@ class Engine {
       internal::SchedulerWidthGuard width_guard;
       twin = std::make_unique<Graph>(AddRandomWeights(s.graph, seed));
     }
-    std::lock_guard<std::mutex> lock(s.twins_mu);
+    MutexLock lock(s.twins_mu);
     return s.twins.emplace(seed, std::move(twin)).first->second.get();
   }
 

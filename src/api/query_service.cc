@@ -52,10 +52,10 @@ std::future<Result<RunReport>> QueryService::Submit(
   request.snapshot = std::move(snapshot);
   std::future<Result<RunReport>> future = request.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_not_full_.wait(lock, [this] {
-      return shutdown_ || queue_.size() < options_.queue_capacity;
-    });
+    MutexLock lock(mu_);
+    while (!shutdown_ && queue_.size() >= options_.queue_capacity) {
+      queue_not_full_.Wait(lock);
+    }
     if (shutdown_) {
       request.promise.set_value(Status::Internal(
           "QueryService is shut down; submission rejected"));
@@ -63,7 +63,7 @@ std::future<Result<RunReport>> QueryService::Submit(
     }
     queue_.push_back(std::move(request));
   }
-  queue_not_empty_.notify_one();
+  queue_not_empty_.NotifyOne();
   return future;
 }
 
@@ -72,21 +72,21 @@ void QueryService::Shutdown() {
   // destructor racing an explicit Shutdown) blocks here until the first
   // caller has finished joining the sessions, never returning while
   // session threads still run.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;  // fully shut down by a previous caller
     shutdown_ = true;
   }
-  queue_not_empty_.notify_all();
-  queue_not_full_.notify_all();
+  queue_not_empty_.NotifyAll();
+  queue_not_full_.NotifyAll();
   for (std::thread& session : sessions_) {
     if (session.joinable()) session.join();
   }
 }
 
 size_t QueryService::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -94,14 +94,13 @@ void QueryService::SessionLoop() {
   for (;;) {
     Request request;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_not_empty_.wait(lock,
-                            [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) queue_not_empty_.Wait(lock);
       if (queue_.empty()) return;  // shut down and fully drained
       request = std::move(queue_.front());
       queue_.pop_front();
     }
-    queue_not_full_.notify_one();
+    queue_not_full_.NotifyOne();
     try {
       request.promise.set_value(Execute(request));
     } catch (...) {

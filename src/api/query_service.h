@@ -29,12 +29,10 @@
 // directly to serve a graph without the facade.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -44,6 +42,7 @@
 #include "api/run_context.h"
 #include "api/run_report.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/epoch.h"
 #include "graph/graph.h"
 
@@ -82,7 +81,8 @@ class QueryService {
   /// has executed it. Blocks while the queue is at capacity. After
   /// Shutdown() the future completes immediately with an Internal error.
   std::future<Result<RunReport>> Submit(std::string algorithm, RunContext ctx,
-                                        RunParams params = RunParams{});
+                                        RunParams params = RunParams{})
+      SAGE_EXCLUDES(mu_);
 
   /// As above, but the query executes on `snapshot`'s graph instead of the
   /// service's default graph, and its report is stamped with the snapshot's
@@ -92,18 +92,18 @@ class QueryService {
   /// concurrent ApplyUpdates / Compact calls.
   std::future<Result<RunReport>> Submit(
       std::string algorithm, RunContext ctx, RunParams params,
-      std::shared_ptr<const GraphSnapshot> snapshot);
+      std::shared_ptr<const GraphSnapshot> snapshot) SAGE_EXCLUDES(mu_);
 
   /// Stops accepting new queries, drains the queue, joins the sessions.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() SAGE_EXCLUDES(shutdown_mu_, mu_);
 
   const Graph& graph() const { return graph_; }
   int sessions() const { return static_cast<int>(sessions_.size()); }
   size_t queue_capacity() const { return options_.queue_capacity; }
 
   /// Queries queued but not yet picked up by a session.
-  size_t pending() const;
+  size_t pending() const SAGE_EXCLUDES(mu_);
 
  private:
   struct Request {
@@ -117,22 +117,25 @@ class QueryService {
     std::promise<Result<RunReport>> promise;
   };
 
-  void SessionLoop();
+  void SessionLoop() SAGE_EXCLUDES(mu_);
   Result<RunReport> Execute(Request& request);
 
   const Graph& graph_;
   const Options options_;
   const WeightedTwinProvider twin_provider_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_not_empty_;
-  std::condition_variable queue_not_full_;
-  std::deque<Request> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar queue_not_empty_;
+  CondVar queue_not_full_;
+  std::deque<Request> queue_ SAGE_GUARDED_BY(mu_);
+  bool shutdown_ SAGE_GUARDED_BY(mu_) = false;
   /// Held for the whole of Shutdown() so concurrent shutdowns (destructor
   /// vs. explicit call) both return only after the sessions are joined.
-  std::mutex shutdown_mu_;
+  /// Ordered before mu_: Shutdown takes it first, then flips shutdown_.
+  Mutex shutdown_mu_ SAGE_ACQUIRED_BEFORE(mu_);
 
+  /// Sized once in the constructor; Shutdown joins the threads under
+  /// shutdown_mu_ but never resizes, so sessions() may read it unlocked.
   std::vector<std::thread> sessions_;
 };
 

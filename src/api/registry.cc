@@ -5,6 +5,7 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "graph/builder.h"
 #include "graph/prefetch.h"
@@ -19,8 +20,8 @@ namespace {
 // asks for a different thread width must rebuild the pool, which is only
 // safe with no other run in flight: width changes take this lock
 // exclusively, every other run shares it.
-std::shared_mutex& SchedulerWidthLock() {
-  static std::shared_mutex* mu = new std::shared_mutex();
+SharedMutex& SchedulerWidthLock() {
+  static SharedMutex* mu = new SharedMutex();
   return *mu;
 }
 
@@ -149,13 +150,13 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
   // rebuild must not race in-flight parallel work); everything else runs
   // concurrently under a shared lock. Taken before weight synthesis, which
   // itself runs parallel work on the shared pool.
-  std::shared_lock<std::shared_mutex> shared_width;
-  std::unique_lock<std::shared_mutex> exclusive_width;
+  std::shared_lock<SharedMutex> shared_width;
+  std::unique_lock<SharedMutex> exclusive_width;
   if (ctx.num_threads > 0) {
-    exclusive_width = std::unique_lock<std::shared_mutex>(SchedulerWidthLock());
+    exclusive_width = std::unique_lock<SharedMutex>(SchedulerWidthLock());
     if (ctx.num_threads != num_workers()) Scheduler::Reset(ctx.num_threads);
   } else {
-    shared_width = std::shared_lock<std::shared_mutex>(SchedulerWidthLock());
+    shared_width = std::shared_lock<SharedMutex>(SchedulerWidthLock());
   }
 
   // Weight synthesis happens before the counter frame: preparing the input

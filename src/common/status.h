@@ -47,8 +47,11 @@ inline const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
-/// Lightweight status object: OK or (code, message).
-class Status {
+/// Lightweight status object: OK or (code, message). Class-level
+/// [[nodiscard]]: a dropped Status is a swallowed error, so every
+/// Status-returning call must be checked, propagated
+/// (SAGE_RETURN_IF_ERROR), or explicitly voided with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -100,8 +103,9 @@ class Status {
 
 /// Result<T>: either a value or an error Status. Use ValueOrDie() only in
 /// tests/examples; library code propagates with SAGE_RETURN_IF_ERROR.
+/// [[nodiscard]] like Status: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}                // NOLINT
   Result(Status status) : value_(std::move(status)) {          // NOLINT

@@ -31,10 +31,10 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 #include "graph/types.h"
 #include "nvram/memory_tracker.h"
 #include "parallel/scheduler.h"
@@ -67,7 +67,7 @@ class ChunkPool {
   static ChunkPool& Get(size_t capacity) {
     capacity = std::bit_ceil(std::max<size_t>(capacity, 1));
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     std::unique_ptr<ChunkPool>& slot = r.pools[capacity];
     if (slot == nullptr) slot.reset(new ChunkPool(capacity));
     return *slot;
@@ -79,7 +79,7 @@ class ChunkPool {
     nvram::Memory().Allocate(capacity_ * sizeof(vertex_id));
     FreeList& fl = free_lists_[Scheduler::shard_id()];
     {
-      std::lock_guard<std::mutex> lock(fl.mu);
+      MutexLock lock(fl.mu);
       if (!fl.chunks.empty()) {
         auto chunk = std::move(fl.chunks.back());
         fl.chunks.pop_back();
@@ -95,7 +95,7 @@ class ChunkPool {
   void Release(std::unique_ptr<Chunk> chunk) {
     nvram::Memory().Free(capacity_ * sizeof(vertex_id));
     FreeList& fl = free_lists_[Scheduler::shard_id()];
-    std::lock_guard<std::mutex> lock(fl.mu);
+    MutexLock lock(fl.mu);
     fl.chunks.push_back(std::move(chunk));
   }
 
@@ -104,7 +104,7 @@ class ChunkPool {
   /// returns heap memory.
   void Drain() {
     for (auto& fl : free_lists_) {
-      std::lock_guard<std::mutex> lock(fl.mu);
+      MutexLock lock(fl.mu);
       fl.chunks.clear();
     }
   }
@@ -112,7 +112,7 @@ class ChunkPool {
   /// Drains every capacity-keyed pool in the process.
   static void DrainAll() {
     Registry& r = GetRegistry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     for (auto& [capacity, pool] : r.pools) pool->Drain();
   }
 
@@ -122,13 +122,13 @@ class ChunkPool {
   struct alignas(kCacheLineBytes) FreeList {
     /// Guards against the one shard-id collision the scheduler permits:
     /// foreign threads beyond the kForeignSlots lease pool alias one slot.
-    std::mutex mu;
-    std::vector<std::unique_ptr<Chunk>> chunks;
+    Mutex mu;
+    std::vector<std::unique_ptr<Chunk>> chunks SAGE_GUARDED_BY(mu);
   };
 
   struct Registry {
-    std::mutex mu;
-    std::map<size_t, std::unique_ptr<ChunkPool>> pools;
+    Mutex mu;
+    std::map<size_t, std::unique_ptr<ChunkPool>> pools SAGE_GUARDED_BY(mu);
   };
 
   static Registry& GetRegistry() {

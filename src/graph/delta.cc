@@ -60,10 +60,10 @@ uint64_t DeltaLog::Append(std::span<const EdgeUpdate> updates) {
   }
   for (int s = 0; s < num_shards_; ++s) {
     if (buckets[static_cast<size_t>(s)].empty()) continue;
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
-    auto& entries = shards_[s].entries;
+    MutexLock lock(shards_[s].mu);
     auto& bucket = buckets[static_cast<size_t>(s)];
-    entries.insert(entries.end(), bucket.begin(), bucket.end());
+    shards_[s].entries.insert(shards_[s].entries.end(), bucket.begin(),
+                              bucket.end());
   }
   pending_.fetch_add(updates.size(), std::memory_order_relaxed);
   return first + updates.size() - 1;
@@ -72,10 +72,9 @@ uint64_t DeltaLog::Append(std::span<const EdgeUpdate> updates) {
 std::vector<EdgeUpdate> DeltaLog::Drain(uint64_t* last_seq) {
   std::vector<std::pair<uint64_t, EdgeUpdate>> all;
   for (int s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
-    auto& entries = shards_[s].entries;
-    all.insert(all.end(), entries.begin(), entries.end());
-    entries.clear();
+    MutexLock lock(shards_[s].mu);
+    all.insert(all.end(), shards_[s].entries.begin(), shards_[s].entries.end());
+    shards_[s].entries.clear();
   }
   pending_.fetch_sub(all.size(), std::memory_order_relaxed);
   std::sort(all.begin(), all.end(),

@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -90,8 +90,8 @@ class DeltaLog {
 
  private:
   struct alignas(kCacheLineBytes) Shard {
-    mutable std::mutex mu;
-    std::vector<std::pair<uint64_t, EdgeUpdate>> entries;
+    mutable Mutex mu;
+    std::vector<std::pair<uint64_t, EdgeUpdate>> entries SAGE_GUARDED_BY(mu);
   };
 
   const int num_shards_;

@@ -8,12 +8,12 @@ EpochManager::EpochManager(Graph initial, uint64_t delta_edges)
 }
 
 std::shared_ptr<const GraphSnapshot> EpochManager::Pin() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
 uint64_t EpochManager::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_->epoch;
 }
 
@@ -24,7 +24,7 @@ uint64_t EpochManager::Advance(Graph next, uint64_t delta_edges) {
   std::shared_ptr<const GraphSnapshot> superseded;
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     epoch = current_->epoch + 1;
     superseded = std::move(current_);
     current_ = MakeSnapshot(shared_, epoch, std::move(next), delta_edges);
@@ -33,19 +33,22 @@ uint64_t EpochManager::Advance(Graph next, uint64_t delta_edges) {
 }
 
 size_t EpochManager::live_epochs() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   return shared_->live.size();
 }
 
 void EpochManager::WaitForRetiredBelow(uint64_t epoch) const {
-  std::unique_lock<std::mutex> lock(shared_->mu);
-  shared_->retired_cv.wait(lock, [&] {
-    return shared_->live.empty() || *shared_->live.begin() >= epoch;
-  });
+  // Manual wait loop: the predicate reads the guarded `live` set, so it
+  // must run in this scope (where thread-safety analysis sees the lock
+  // held), not inside a predicate lambda.
+  MutexLock lock(shared_->mu);
+  while (!(shared_->live.empty() || *shared_->live.begin() >= epoch)) {
+    shared_->retired_cv.Wait(lock);
+  }
 }
 
 void EpochManager::SetRetireCallback(RetireCallback callback) {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   shared_->on_retire = std::move(callback);
 }
 
@@ -53,7 +56,7 @@ std::shared_ptr<const GraphSnapshot> EpochManager::MakeSnapshot(
     std::shared_ptr<Shared> shared, uint64_t epoch, Graph graph,
     uint64_t delta_edges) {
   {
-    std::lock_guard<std::mutex> lock(shared->mu);
+    MutexLock lock(shared->mu);
     shared->live.insert(epoch);
   }
   auto* snapshot = new GraphSnapshot{epoch, std::move(graph), delta_edges};
@@ -66,11 +69,11 @@ std::shared_ptr<const GraphSnapshot> EpochManager::MakeSnapshot(
         delete s;
         RetireCallback callback;
         {
-          std::lock_guard<std::mutex> lock(shared->mu);
+          MutexLock lock(shared->mu);
           shared->live.erase(retired);
           callback = shared->on_retire;
         }
-        shared->retired_cv.notify_all();
+        shared->retired_cv.NotifyAll();
         if (callback) callback(retired);
       });
 }

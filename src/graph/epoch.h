@@ -15,15 +15,14 @@
 // the pre-compaction mapping under live traffic.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 
 namespace sage {
@@ -74,10 +73,10 @@ class EpochManager {
   /// Retirement bookkeeping, shared with every snapshot's deleter so a
   /// snapshot outliving the manager still retires cleanly.
   struct Shared {
-    mutable std::mutex mu;
-    mutable std::condition_variable retired_cv;
-    std::set<uint64_t> live;
-    RetireCallback on_retire;
+    mutable Mutex mu;
+    mutable CondVar retired_cv;
+    std::set<uint64_t> live SAGE_GUARDED_BY(mu);
+    RetireCallback on_retire SAGE_GUARDED_BY(mu);
   };
 
   static std::shared_ptr<const GraphSnapshot> MakeSnapshot(
@@ -85,8 +84,8 @@ class EpochManager {
       uint64_t delta_edges);
 
   std::shared_ptr<Shared> shared_;
-  mutable std::mutex mu_;  // guards current_
-  std::shared_ptr<const GraphSnapshot> current_;
+  mutable Mutex mu_;
+  std::shared_ptr<const GraphSnapshot> current_ SAGE_GUARDED_BY(mu_);
 };
 
 }  // namespace sage

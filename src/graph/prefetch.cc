@@ -116,10 +116,10 @@ Prefetcher::Prefetcher(const Graph& g, const PrefetchOptions& options,
 Prefetcher::~Prefetcher() {
   if (!active()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   worker_.join();
 }
 
@@ -128,7 +128,7 @@ void Prefetcher::EnqueueWave(std::span<const vertex_id> frontier) {
   Wave wave;
   wave.ids.assign(frontier.begin(), frontier.end());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.waves++;
     if (queue_.size() >= options_.max_queued_waves) {
       // The oldest wave's frontier has already been traversed; its advice
@@ -138,7 +138,7 @@ void Prefetcher::EnqueueWave(std::span<const vertex_id> frontier) {
     }
     queue_.push_back(std::move(wave));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void Prefetcher::EnqueueDenseWave() {
@@ -146,7 +146,7 @@ void Prefetcher::EnqueueDenseWave() {
   Wave wave;
   wave.dense = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.waves++;
     if (queue_.size() >= options_.max_queued_waves) {
       stats_.pages_faulted += EstimatePages(queue_.front());
@@ -154,17 +154,19 @@ void Prefetcher::EnqueueDenseWave() {
     }
     queue_.push_back(std::move(wave));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void Prefetcher::Drain() {
   if (!active()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  // Manual wait loop: the idle predicate reads guarded state, so it runs
+  // here with the lock visibly held rather than in a predicate lambda.
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && !busy_)) idle_cv_.Wait(lock);
 }
 
 PrefetchStats Prefetcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -183,21 +185,28 @@ uint64_t Prefetcher::EstimatePages(const Wave& wave) const {
 }
 
 void Prefetcher::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Two scoped lock regions per iteration (pop under the lock, process
+  // unlocked, clear busy_ under the lock again) instead of one long-held
+  // unique_lock with unlock()/lock() pairs: scoped regions are what the
+  // thread-safety analysis can follow. busy_ stays true across the
+  // unlocked ProcessWave so Drain()'s `queue_.empty() && !busy_` condition
+  // still cannot observe a half-processed wave as idle.
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
+    Wave wave;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(lock);
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      wave = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
     }
-    Wave wave = std::move(queue_.front());
-    queue_.pop_front();
-    busy_ = true;
-    lock.unlock();
     ProcessWave(wave);
-    lock.lock();
-    busy_ = false;
-    if (queue_.empty()) idle_cv_.notify_all();
+    {
+      MutexLock lock(mu_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.NotifyAll();
+    }
   }
 }
 
@@ -233,7 +242,7 @@ void Prefetcher::ProcessWave(const Wave& wave) {
                                  options_.budget_bytes, &dropped);
   }
   AdviseRanges(ranges);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.pages_faulted += dropped;
 }
 
@@ -254,7 +263,7 @@ void Prefetcher::AdviseRanges(const std::vector<PageRange>& ranges) {
     // distinctly (excluded from PsamCost / EmulatedNanos).
     cost_->ChargePrefetchRead(prefetched * (page / kWordBytes));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.batches += batches;
   stats_.pages_prefetched += prefetched;
   stats_.pages_resident += resident;

@@ -36,11 +36,9 @@
 // bit-identical).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -48,6 +46,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "nvram/cost_model.h"
 
@@ -153,18 +152,18 @@ class Prefetcher {
 
   /// Enqueues the page frontier of one sparse vertex frontier. Copies the
   /// ids; the advice thread does the page math off the critical path.
-  void EnqueueWave(std::span<const vertex_id> frontier);
+  void EnqueueWave(std::span<const vertex_id> frontier) SAGE_EXCLUDES(mu_);
 
   /// Enqueues a whole-section wave for a dense (pull) round, which scans
   /// every adjacency list in order: advises a budget-sized prefix of the
   /// neighbors (and weights) sections.
-  void EnqueueDenseWave();
+  void EnqueueDenseWave() SAGE_EXCLUDES(mu_);
 
   /// Blocks until every enqueued wave has been processed.
-  void Drain();
+  void Drain() SAGE_EXCLUDES(mu_);
 
   /// Snapshot of the pipeline counters (Drain() first for a final value).
-  PrefetchStats stats() const;
+  PrefetchStats stats() const SAGE_EXCLUDES(mu_);
 
  private:
   struct Wave {
@@ -172,11 +171,12 @@ class Prefetcher {
     bool dense = false;
   };
 
-  void WorkerLoop();
-  void ProcessWave(const Wave& wave);
-  void AdviseRanges(const std::vector<PageRange>& ranges);
+  void WorkerLoop() SAGE_EXCLUDES(mu_);
+  void ProcessWave(const Wave& wave) SAGE_EXCLUDES(mu_);
+  void AdviseRanges(const std::vector<PageRange>& ranges) SAGE_EXCLUDES(mu_);
   /// Approximate page count a wave would advise (used to account waves
-  /// dropped on queue overflow as left-to-fault).
+  /// dropped on queue overflow as left-to-fault). Touches only immutable
+  /// layout state, so callers may hold mu_ or not.
   uint64_t EstimatePages(const Wave& wave) const;
 
   std::shared_ptr<const GraphStorage> storage_;  // keeps the mapping alive
@@ -191,13 +191,15 @@ class Prefetcher {
   /// from ProcessWave.
   uint64_t dense_cursor_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Wave> queue_;
-  bool stop_ = false;
-  bool busy_ = false;
-  PrefetchStats stats_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<Wave> queue_ SAGE_GUARDED_BY(mu_);
+  bool stop_ SAGE_GUARDED_BY(mu_) = false;
+  /// True while the worker processes a wave outside mu_; Drain()'s idle
+  /// condition is `queue_.empty() && !busy_`.
+  bool busy_ SAGE_GUARDED_BY(mu_) = false;
+  PrefetchStats stats_ SAGE_GUARDED_BY(mu_);
   std::thread worker_;
 };
 

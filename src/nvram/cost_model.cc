@@ -55,12 +55,22 @@ std::string CostTotals::ToJson() const {
 
 namespace {
 
-// Socket of the calling worker: workers are split evenly across sockets,
-// matching `numactl -i all` thread placement.
+// Socket of the calling thread: workers are split evenly across sockets,
+// matching `numactl -i all` thread placement. Keyed by shard_id(), not the
+// scheduler's worker id: every foreign thread (main, query sessions)
+// reports worker id 0, which would pin all concurrent driver threads to
+// socket 0; shard slots are unique per thread, so foreign threads spread
+// across sockets like interleaved placement would. The main thread leases
+// the first foreign slot and still maps to socket 0, so single-threaded
+// baselines are unchanged.
 int ThreadSocket(int num_sockets) {
   int nw = Scheduler::Get().num_workers();
   if (nw <= 1 || num_sockets <= 1) return 0;
-  int id = Scheduler::worker_id();
+  int sid = Scheduler::shard_id();
+  // Pool workers use their slot directly; foreign slots fold back into
+  // [0, nw) round-robin.
+  int id = sid >= Scheduler::kMaxWorkers ? (sid - Scheduler::kMaxWorkers) % nw
+                                         : sid % nw;
   int socket = id * num_sockets / nw;
   return socket < num_sockets ? socket : num_sockets - 1;
 }

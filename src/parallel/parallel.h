@@ -11,16 +11,14 @@ namespace sage {
 /// Number of workers in the current pool (>= 1, includes the main thread).
 inline int num_workers() { return Scheduler::Get().num_workers(); }
 
-/// Id of the calling worker in [0, num_workers()). Every foreign thread
-/// (main, query sessions) reports 0, so per-thread scratch must NOT index
-/// by this under concurrent engine runs - use shard_id().
-inline int worker_id() { return Scheduler::worker_id(); }
-
 /// Unique per-thread slot in [0, Scheduler::kMaxShards) for per-thread
-/// scratch (size arrays by Scheduler::kMaxShards). Unlike worker_id(),
-/// two concurrent driver/session threads never share a slot, so scratch
-/// stays race-free when one run's jobs execute on another run's blocked
-/// thread (help-while-waiting).
+/// scratch (size arrays by Scheduler::kMaxShards). Unlike the scheduler's
+/// internal worker id - which every foreign thread (main, query sessions)
+/// reports as 0 - two concurrent driver/session threads never share a
+/// slot, so scratch stays race-free when one run's jobs execute on another
+/// run's blocked thread (help-while-waiting). There is deliberately no
+/// worker_id() wrapper here: indexing scratch by worker id is the aliasing
+/// bug class sage_lint's scratch-by-shard-id check rejects.
 inline int shard_id() { return Scheduler::shard_id(); }
 
 /// Runs `left` and `right` as a fork-join pair, potentially in parallel.

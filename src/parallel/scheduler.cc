@@ -20,12 +20,12 @@ namespace {
 // per-thread sharded structures stay memory-safe because every slot is in
 // range).
 struct ForeignSlotPool {
-  std::mutex mu;
-  std::vector<int> returned;
-  int next = Scheduler::kMaxWorkers;
+  Mutex mu;
+  std::vector<int> returned SAGE_GUARDED_BY(mu);
+  int next SAGE_GUARDED_BY(mu) = Scheduler::kMaxWorkers;
 
-  int Acquire(bool* owned) {
-    std::lock_guard<std::mutex> lock(mu);
+  int Acquire(bool* owned) SAGE_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (!returned.empty()) {
       int slot = returned.back();
       returned.pop_back();
@@ -40,8 +40,8 @@ struct ForeignSlotPool {
     return Scheduler::kMaxShards - 1;
   }
 
-  void Release(int slot) {
-    std::lock_guard<std::mutex> lock(mu);
+  void Release(int slot) SAGE_EXCLUDES(mu) {
+    MutexLock lock(mu);
     returned.push_back(slot);
   }
 };
@@ -117,8 +117,8 @@ Scheduler::Scheduler(int num_threads) {
 Scheduler::~Scheduler() {
   shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(idle_mu_);
+    idle_cv_.NotifyAll();
   }
   for (auto& t : threads_) t.join();
 }
@@ -126,7 +126,7 @@ Scheduler::~Scheduler() {
 void Scheduler::Push(Job* job) {
   WorkerQueue& q = *queues_[worker_id_];
   {
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     q.jobs.push_back(job);
   }
   num_jobs_.fetch_add(1, std::memory_order_release);
@@ -135,7 +135,7 @@ void Scheduler::Push(Job* job) {
 
 bool Scheduler::TryPopBottomIf(Job* job) {
   WorkerQueue& q = *queues_[worker_id_];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (!q.jobs.empty() && q.jobs.back() == job) {
     q.jobs.pop_back();
     num_jobs_.fetch_sub(1, std::memory_order_release);
@@ -152,7 +152,7 @@ Scheduler::Job* Scheduler::TrySteal(int thief_id) {
   for (int k = 0; k < num_workers_; ++k) {
     int victim = static_cast<int>((start + k) % num_workers_);
     WorkerQueue& q = *queues_[victim];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.jobs.empty()) {
       Job* job = q.jobs.front();
       q.jobs.pop_front();
@@ -192,9 +192,10 @@ void Scheduler::WorkerLoop(int id) {
     }
     // Nothing to do for a while: block until new work or shutdown. The
     // notifier holds idle_mu_ when signalling, so the predicate cannot be
-    // missed; the timeout is a pure backstop.
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::microseconds(100), [this] {
+    // missed; the timeout is a pure backstop. The predicate-lambda overload
+    // is fine here: it reads only atomics, never idle_mu_-guarded state.
+    MutexLock lock(idle_mu_);
+    idle_cv_.WaitFor(lock, std::chrono::microseconds(100), [this] {
       return shutdown_.load(std::memory_order_acquire) ||
              num_jobs_.load(std::memory_order_acquire) > 0;
     });
@@ -208,9 +209,9 @@ void Scheduler::NotifyOne() {
   // the notification. Without it, a push could race a worker into a full
   // timeout sleep, serializing fine-grained fork-join phases.
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(idle_mu_);
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 }  // namespace sage

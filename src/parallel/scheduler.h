@@ -23,16 +23,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace sage {
 
@@ -135,8 +134,8 @@ class Scheduler {
   };
 
   struct alignas(kCacheLineBytes) WorkerQueue {
-    std::mutex mu;
-    std::deque<Job*> jobs;  // bottom = back, top = front
+    Mutex mu;
+    std::deque<Job*> jobs SAGE_GUARDED_BY(mu);  // bottom = back, top = front
   };
 
   explicit Scheduler(int num_threads);
@@ -173,8 +172,11 @@ class Scheduler {
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
   std::atomic<int> num_jobs_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Sleep gate for idle workers. It guards no data - the idle predicate
+  /// reads only the shutdown_/num_jobs_ atomics - but the notifier takes it
+  /// so a push cannot race a worker into a timeout sleep.
+  Mutex idle_mu_;
+  CondVar idle_cv_;
 };
 
 }  // namespace sage

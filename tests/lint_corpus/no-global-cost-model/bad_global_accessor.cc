@@ -1,0 +1,13 @@
+// BAD: reaches for a process-global cost model; concurrent runs would
+// bleed charges into each other.
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+void ChargeScan(uint64_t words) {
+  nvram::CostModel::Get().ChargeGraphRead(words, 0);
+  auto* tracker = new nvram::MemoryTracker();
+  tracker->Allocate(words * 8);
+}
+
+}  // namespace sage

@@ -1,0 +1,13 @@
+// BAD: constructs a private CostModel instead of charging the per-run
+// execution context - the counters would never reach the run's report.
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+uint64_t CountReads() {
+  nvram::CostModel model;
+  model.ChargeGraphRead(4, 0);
+  return model.Totals().nvram_reads;
+}
+
+}  // namespace sage

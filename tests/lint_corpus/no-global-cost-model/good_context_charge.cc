@@ -1,0 +1,12 @@
+// GOOD: charges flow through the per-run execution context accessors; the
+// scheduler task tag routes them to the query that forked the work.
+#include "nvram/execution_context.h"
+
+namespace sage {
+
+void ChargeScan(uint64_t words) {
+  nvram::Cost().ChargeGraphRead(words, 0);
+  nvram::Memory().Allocate(words * 8);
+}
+
+}  // namespace sage

@@ -1,0 +1,24 @@
+// GOOD: non-owning pointer/reference routing of an existing model (the
+// Prefetcher seam) is allowed; only construction and global accessors are
+// the violation.
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+class Pipeline {
+ public:
+  explicit Pipeline(nvram::CostModel* cost) : cost_(cost) {}
+
+  void Charge(uint64_t pages) {
+    if (cost_ != nullptr) cost_->ChargePrefetchRead(pages * 512);
+  }
+
+ private:
+  nvram::CostModel* cost_ = nullptr;
+};
+
+void Route(const nvram::CostModel& model, uint64_t* out) {
+  *out = model.Totals().nvram_reads;
+}
+
+}  // namespace sage

@@ -1,0 +1,19 @@
+// BAD: naked new in a hot path; the buffer leaks on every early return
+// and bypasses the memory tracker.
+#include <cstdint>
+
+namespace sage {
+
+struct Frontier {
+  uint32_t* ids;
+  size_t size;
+};
+
+Frontier MakeFrontier(size_t n) {
+  Frontier f;
+  f.ids = new uint32_t[n];
+  f.size = n;
+  return f;
+}
+
+}  // namespace sage

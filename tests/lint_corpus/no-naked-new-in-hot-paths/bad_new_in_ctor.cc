@@ -1,0 +1,17 @@
+// BAD: raw owning pointer filled by naked new; ownership should be a
+// unique_ptr (make_unique) or a container.
+#include <cstddef>
+
+namespace sage {
+
+class Buffer {
+ public:
+  explicit Buffer(size_t n) : data_(new double[n]), size_(n) {}
+  ~Buffer() { delete[] data_; }
+
+ private:
+  double* data_;
+  size_t size_;
+};
+
+}  // namespace sage

@@ -1,0 +1,11 @@
+// GOOD: the word "new" in comments and strings is not an allocation; the
+// check must only fire on new-expressions.
+#include <string>
+
+namespace sage {
+
+// Re-bucket every improved vertex by its new tentative distance, then
+// mint a new chunk from the pool when the current one fills.
+std::string Describe() { return "allocates a new chunk from the pool"; }
+
+}  // namespace sage

@@ -1,0 +1,19 @@
+// GOOD: ownership via make_unique and containers; nothing to leak, and
+// vector growth is visible to the memory tracker's owning call sites.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sage {
+
+struct Frontier {
+  std::vector<uint32_t> ids;
+};
+
+std::unique_ptr<Frontier> MakeFrontier(size_t n) {
+  auto f = std::make_unique<Frontier>();
+  f->ids.resize(n);
+  return f;
+}
+
+}  // namespace sage

@@ -1,0 +1,18 @@
+// BAD: decoding a neighbor list with no end bound; the loop trusts the
+// encoded degree and reads past a truncated buffer.
+#include <cstdint>
+
+namespace sage {
+
+uint64_t VarintDecode(const uint8_t*& p);
+
+uint64_t SumNeighbors(const uint8_t* data, uint32_t degree) {
+  const uint8_t* p = data;
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    sum += VarintDecode(p);
+  }
+  return sum;
+}
+
+}  // namespace sage

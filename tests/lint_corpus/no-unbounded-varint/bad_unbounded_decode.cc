@@ -1,0 +1,16 @@
+// BAD: unbounded varint decode - a truncated or corrupt image makes the
+// cursor run past the end of the mapping.
+#include <cstdint>
+
+namespace sage {
+
+uint64_t VarintDecode(const uint8_t*& p);
+
+uint64_t ReadHeader(const uint8_t* data) {
+  const uint8_t* p = data;
+  uint64_t n = VarintDecode(p);
+  uint64_t m = VarintDecode(p);
+  return n + m;
+}
+
+}  // namespace sage

@@ -1,0 +1,16 @@
+// GOOD: bounded decode with the truncation case handled.
+#include <cstdint>
+
+#include "graph/varint.h"
+
+namespace sage {
+
+bool ReadHeader(const uint8_t* data, const uint8_t* end, uint64_t* out) {
+  const uint8_t* p = data;
+  uint64_t n = 0;
+  if (!VarintDecodeBounded(p, end, &n)) return false;
+  *out = n;
+  return true;
+}
+
+}  // namespace sage

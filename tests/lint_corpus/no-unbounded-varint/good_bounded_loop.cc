@@ -1,0 +1,21 @@
+// GOOD: bounded decode in a loop; truncated input ends the scan instead
+// of running off the mapping.
+#include <cstdint>
+
+#include "graph/varint.h"
+
+namespace sage {
+
+uint64_t SumNeighbors(const uint8_t* data, const uint8_t* end,
+                      uint32_t degree) {
+  const uint8_t* p = data;
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < degree; ++i) {
+    uint64_t value = 0;
+    if (!VarintDecodeBounded(p, end, &value)) break;
+    sum += value;
+  }
+  return sum;
+}
+
+}  // namespace sage

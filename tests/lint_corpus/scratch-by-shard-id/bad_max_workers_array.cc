@@ -1,0 +1,22 @@
+// BAD: sizes per-thread scratch [kMaxWorkers]. Foreign threads get shard
+// slots in [kMaxWorkers, kMaxShards), so their writes land out of bounds
+// (or alias slot 0 if also indexed by worker id).
+#include "parallel/scheduler.h"
+
+namespace sage {
+
+struct alignas(64) Slot {
+  uint64_t value = 0;
+};
+
+struct Scratch {
+  Slot slots[Scheduler::kMaxWorkers];
+};
+
+uint64_t Sum(const Scratch& s) {
+  uint64_t total = 0;
+  for (const Slot& slot : s.slots) total += slot.value;
+  return total;
+}
+
+}  // namespace sage

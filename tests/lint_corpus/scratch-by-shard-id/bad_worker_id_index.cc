@@ -1,0 +1,14 @@
+// BAD: indexes per-thread scratch by worker_id(). Every foreign thread
+// (main, query sessions) reports worker id 0, so two concurrent driver
+// threads race on slot 0 - the help-while-waiting aliasing bug class.
+#include "parallel/scheduler.h"
+
+namespace sage {
+
+struct Counters {
+  uint64_t hits[Scheduler::kMaxShards] = {};
+};
+
+void Bump(Counters& c) { c.hits[Scheduler::worker_id()]++; }
+
+}  // namespace sage

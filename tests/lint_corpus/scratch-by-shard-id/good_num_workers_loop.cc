@@ -1,0 +1,14 @@
+// GOOD: reading the pool width (num_workers) and mentioning kMaxWorkers
+// outside an array extent are both fine; only worker-id-indexed scratch is
+// the violation.
+#include "parallel/parallel.h"
+
+namespace sage {
+
+int GrainFor(size_t n) {
+  int workers = num_workers();
+  if (workers > Scheduler::kMaxWorkers) workers = Scheduler::kMaxWorkers;
+  return static_cast<int>(n / static_cast<size_t>(8 * workers) + 1);
+}
+
+}  // namespace sage

@@ -1,0 +1,13 @@
+// GOOD: scratch sized [kMaxShards] and indexed by shard_id(); every
+// charging thread (pool worker or driver) owns a distinct slot.
+#include "parallel/scheduler.h"
+
+namespace sage {
+
+struct Counters {
+  uint64_t hits[Scheduler::kMaxShards] = {};
+};
+
+void Bump(Counters& c) { c.hits[Scheduler::shard_id()]++; }
+
+}  // namespace sage

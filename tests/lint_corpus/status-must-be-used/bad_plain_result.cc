@@ -1,0 +1,18 @@
+// BAD: Result<T> without class-level [[nodiscard]]; a dropped Result
+// drops its error.
+#include <variant>
+
+namespace sage {
+
+class [[nodiscard]] Status {};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(value) {}  // NOLINT
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace sage

@@ -1,0 +1,16 @@
+// BAD: Status without class-level [[nodiscard]]; callers can silently
+// drop errors.
+#include <string>
+
+namespace sage {
+
+class Status {
+ public:
+  Status() = default;
+  bool ok() const { return message_.empty(); }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace sage

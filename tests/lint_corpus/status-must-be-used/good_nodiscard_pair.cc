@@ -1,0 +1,20 @@
+// GOOD: both Status and Result<T> carry class-level [[nodiscard]].
+#include <variant>
+
+namespace sage {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(value) {}  // NOLINT
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace sage

@@ -1,0 +1,19 @@
+// GOOD: classes that merely mention Status in their name or members are
+// not declarations of the Status/Result types themselves.
+#include <cstdint>
+
+namespace sage {
+
+class StatusLine {
+ public:
+  uint64_t code() const { return code_; }
+
+ private:
+  uint64_t code_ = 0;
+};
+
+struct RunStatusSummary {
+  StatusLine line;
+};
+
+}  // namespace sage

@@ -12,8 +12,8 @@ namespace {
 
 TEST(Scheduler, HasAtLeastOneWorker) {
   EXPECT_GE(num_workers(), 1);
-  EXPECT_GE(worker_id(), 0);
-  EXPECT_LT(worker_id(), num_workers());
+  EXPECT_GE(shard_id(), 0);
+  EXPECT_LT(shard_id(), Scheduler::kMaxShards);
 }
 
 TEST(Scheduler, ParDoRunsBothBranches) {
