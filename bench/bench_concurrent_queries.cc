@@ -92,6 +92,127 @@ SAGE_BENCHMARK(concurrent_queries,
               sessions, qps, serial_qps > 0 ? qps / serial_qps : 0.0);
   }
 
+  // Serving rows: the same mixed batch submitted kRounds times through one
+  // service at 4 sessions, with the result cache off vs on. With the cache
+  // on, rounds 2..k replay round 1's reports, so the row measures the
+  // serving fast path; both rows carry end-to-end latency percentiles from
+  // the service's histogram (p50/p95/p99 over every report-producing
+  // query).
+  constexpr int kRounds = 3;
+  for (const bool cache_on : {false, true}) {
+    QueryService::Options options;
+    options.sessions = 4;
+    options.queue_capacity = batch.size();
+    if (cache_on) options.cache_bytes = 64 << 20;
+    std::vector<double> samples;
+    LatencySnapshot latency;
+    double hit_rate = 0.0;
+    for (int rep = 0; rep < ctx.warmup() + ctx.repetitions(); ++rep) {
+      QueryService service(in.graph, options);
+      Timer timer;
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<Result<RunReport>>> futures;
+        futures.reserve(batch.size());
+        for (const Query& q : batch) {
+          futures.push_back(service.Submit(q.algorithm, rctx, q.params));
+        }
+        // Drain per round so round 1's insertions are visible to round 2.
+        for (auto& f : futures) {
+          auto run = f.get();
+          SAGE_CHECK_MSG(run.ok(), "concurrent_queries serve: %s",
+                         run.status().ToString().c_str());
+        }
+      }
+      if (rep >= ctx.warmup()) samples.push_back(timer.Seconds());
+      const ServingCounters counters = service.counters();
+      latency = service.latency();
+      hit_rate = counters.submitted > 0
+                     ? static_cast<double>(counters.cache_hits) /
+                           static_cast<double>(counters.submitted)
+                     : 0.0;
+    }
+
+    BenchRecord r = ctx.NewRecord("serve-mixed");
+    r.AddConfig("sessions", "4");
+    r.AddConfig("cache", cache_on ? "on" : "off");
+    r.wall = BenchStats::FromSamples(std::move(samples));
+    r.model_seconds = r.wall.min;
+    const double total = static_cast<double>(kRounds * batch.size());
+    const double qps = r.wall.median > 0 ? total / r.wall.median : 0.0;
+    r.AddMetric("queries_per_sec", qps);
+    r.AddMetric("cache_hit_rate", hit_rate);
+    r.has_latency = true;
+    r.latency_p50_seconds = latency.p50_seconds;
+    r.latency_p95_seconds = latency.p95_seconds;
+    r.latency_p99_seconds = latency.p99_seconds;
+    ctx.Report(r);
+    ctx.NoteF(
+        "serve-mixed cache=%s: %.1f queries/sec, hit rate %.0f%%, "
+        "p50/p95/p99 = %.2f/%.2f/%.2f ms",
+        cache_on ? "on" : "off", qps, hit_rate * 100,
+        latency.p50_seconds * 1e3, latency.p95_seconds * 1e3,
+        latency.p99_seconds * 1e3);
+  }
+
+  // Deadline mix: most queries get a generous 30s deadline, every fourth
+  // an already-expired one - the misses exercise the deadline path (stamp
+  // at submit, reject at dequeue) without failing the row, and the
+  // percentiles cover only the queries that produced reports.
+  {
+    QueryService::Options options;
+    options.sessions = 4;
+    options.queue_capacity = batch.size();
+    std::vector<double> samples;
+    LatencySnapshot latency;
+    double miss_rate = 0.0;
+    for (int rep = 0; rep < ctx.warmup() + ctx.repetitions(); ++rep) {
+      QueryService service(in.graph, options);
+      Timer timer;
+      std::vector<std::future<Result<RunReport>>> futures;
+      futures.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        RunContext qctx = rctx;
+        qctx.deadline_ms = (i % 4 == 3) ? 1e-6 : 30'000.0;
+        futures.push_back(service.Submit(batch[i].algorithm, qctx,
+                                         batch[i].params));
+      }
+      uint64_t ok = 0, missed = 0;
+      for (auto& f : futures) {
+        auto run = f.get();
+        if (run.ok()) {
+          ++ok;
+        } else if (run.status().code() == StatusCode::kDeadlineExceeded) {
+          ++missed;
+        } else {
+          SAGE_CHECK_MSG(false, "concurrent_queries deadline-mix: %s",
+                         run.status().ToString().c_str());
+        }
+      }
+      SAGE_CHECK_MSG(ok > 0, "deadline-mix: no query survived its deadline");
+      if (rep >= ctx.warmup()) samples.push_back(timer.Seconds());
+      latency = service.latency();
+      miss_rate = static_cast<double>(missed) /
+                  static_cast<double>(batch.size());
+    }
+
+    BenchRecord r = ctx.NewRecord("deadline-mix");
+    r.AddConfig("sessions", "4");
+    r.AddConfig("deadlines", "30s-with-expired-every-4th");
+    r.wall = BenchStats::FromSamples(std::move(samples));
+    r.model_seconds = r.wall.min;
+    r.AddMetric("deadline_miss_rate", miss_rate);
+    r.has_latency = true;
+    r.latency_p50_seconds = latency.p50_seconds;
+    r.latency_p95_seconds = latency.p95_seconds;
+    r.latency_p99_seconds = latency.p99_seconds;
+    ctx.Report(r);
+    ctx.NoteF(
+        "deadline-mix: %.0f%% expired-at-submit misses, survivor "
+        "p50/p95/p99 = %.2f/%.2f/%.2f ms",
+        miss_rate * 100, latency.p50_seconds * 1e3,
+        latency.p95_seconds * 1e3, latency.p99_seconds * 1e3);
+  }
+
   Scheduler::Reset(entry_workers);
   ctx.NoteF(
       "queries run width-1; session count is the only parallelism, so "

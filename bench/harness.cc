@@ -94,6 +94,11 @@ std::string BenchRecord::ToJson(const std::string& indent) const {
          ",\n";
     j += in1 + "\"counters\": " + counters.ToJson() + ",\n";
   }
+  if (has_latency) {
+    j += in1 + "\"latency_seconds\": {\"p50\": " + Double(latency_p50_seconds) +
+         ", \"p95\": " + Double(latency_p95_seconds) +
+         ", \"p99\": " + Double(latency_p99_seconds) + "},\n";
+  }
   j += in1 + "\"peak_intermediate_bytes\": " +
        U64(peak_intermediate_bytes) + ",\n";
   j += in1 + "\"metrics\": {";

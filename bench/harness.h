@@ -46,6 +46,9 @@
 //     "counters": {"dram_reads": ..., "dram_writes": ..., "nvram_reads": ...,
 //                  "nvram_writes": ..., "remote_nvram_accesses": ...,
 //                  "memory_mode_hits": ..., "memory_mode_misses": ...},
+//     "latency_seconds": {"p50": ..., "p95": ..., "p99": ...},
+//                              // end-to-end serving percentiles; only on
+//                              // rows measured through the QueryService
 //     "peak_intermediate_bytes": ...,  // Table 5 metric (DRAM high-water)
 //     "metrics": {"speedup": 1.4}      // benchmark-specific extra scalars
 //   }
@@ -119,6 +122,13 @@ struct BenchRecord {
   bool has_counters = false;
   nvram::CostTotals counters;
   uint64_t peak_intermediate_bytes = 0;
+  /// End-to-end serving latency percentiles (seconds), for rows measured
+  /// through the QueryService; serialized as "latency_seconds" when
+  /// has_latency (scripts/check_perf.py gates p99 regressions on it).
+  bool has_latency = false;
+  double latency_p50_seconds = 0;
+  double latency_p95_seconds = 0;
+  double latency_p99_seconds = 0;
   /// Benchmark-specific extra scalars (speedups, decode counts, ...).
   std::vector<std::pair<std::string, double>> metrics;
 

@@ -19,6 +19,7 @@
 //
 // The algorithm set comes from sage::AlgorithmRegistry; this binary holds
 // no algorithm table of its own.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -58,11 +59,19 @@ void PrintUsage() {
       "                [-policy %s] [-threads T] [-omega W] [-prefetch] "
       "[-json]\n"
       "                [-updates file] [-compact]\n"
+      "                [-cache [-cache-bytes B]] [-deadline-ms D] "
+      "[-tenant NAME]\n"
+      "                [-repeat N [-updates-between file]] [-stats]\n"
       "       sage_cli [-graph file | -gen ...] -convert out.bsadj|out.adj\n"
       "-updates applies an edge-update stream ('u v [w]' inserts, '- u v'\n"
       "removes) as a DRAM delta over the loaded graph before the run;\n"
       "-compact merges the delta into the base (rewriting a mapped .bsadj\n"
       "image in place) first.\n"
+      "-cache serves repeat queries from the epoch-keyed result cache;\n"
+      "-deadline-ms bounds each run (DeadlineExceeded past it); -repeat\n"
+      "submits the query N times (-updates-between applies an update file\n"
+      "between repeats, bumping the epoch); -stats prints the service's\n"
+      "stats JSON after the runs.\n"
       "algorithms:",
       AllocPolicyChoices());
   for (const auto& entry : AlgorithmRegistry::Get().entries()) {
@@ -196,16 +205,53 @@ int main(int argc, char** argv) {
     std::printf("graph: %s\n", stats.ToString().c_str());
   }
 
-  auto run = engine.Run(algo, params);
-  if (!run.ok()) {
-    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
-    return 1;
+  // Serving path: every run goes through the engine's QueryService. The
+  // service is sized on first use, so the cache budget must be configured
+  // before the first submission.
+  QueryService::Options service_options;
+  if (cmd.Has("cache")) {
+    service_options.cache_bytes = static_cast<uint64_t>(
+        cmd.GetInt("cache-bytes", 256ll << 20));
   }
-  const RunReport& report = run.ValueOrDie();
-  if (json) {
-    std::printf("%s\n", report.ToJson().c_str());
-  } else {
-    std::printf("%s", report.ToString().c_str());
+  engine.service(service_options);
+
+  RunContext query_ctx = ctx;
+  query_ctx.deadline_ms = cmd.GetDouble("deadline-ms", 0);
+  const std::string tenant = cmd.GetString("tenant", "default");
+  const int repeat =
+      std::max(1, static_cast<int>(cmd.GetInt("repeat", 1)));
+  for (int i = 0; i < repeat; ++i) {
+    auto run = engine.Submit(algo, params, query_ctx, tenant).get();
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    const RunReport& report = run.ValueOrDie();
+    if (json) {
+      std::printf("%s\n", report.ToJson().c_str());
+    } else {
+      std::printf("%s", report.ToString().c_str());
+    }
+    if (i + 1 < repeat && cmd.Has("updates-between")) {
+      auto updates = ReadEdgeUpdates(cmd.GetString("updates-between"));
+      if (!updates.ok()) {
+        std::fprintf(stderr, "%s\n", updates.status().ToString().c_str());
+        return 1;
+      }
+      auto applied = engine.ApplyUpdates(updates.ValueOrDie());
+      if (!applied.ok()) {
+        std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+        return 1;
+      }
+      if (!json) {
+        std::printf("updates-between: epoch %llu\n",
+                    static_cast<unsigned long long>(
+                        applied.ValueOrDie().epoch));
+      }
+    }
+  }
+  if (cmd.Has("stats")) {
+    std::printf("%s\n", engine.service().StatsJson().c_str());
   }
   return 0;
 }

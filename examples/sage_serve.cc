@@ -1,0 +1,246 @@
+// sage_serve: a thin TCP line-protocol front end over the Sage engine's
+// QueryService, turning sage_cli workloads into a long-running service so
+// load can be generated externally (netcat, a load generator, or the
+// bench harness on another machine).
+//
+//   sage_serve -gen rmat -logn 18 -edges 1000000 -cache -port 7477
+//   printf 'RUN bfs src=3 tenant=web deadline_ms=500\n' | nc localhost 7477
+//
+// Protocol: one request per line, one JSON response line per request.
+//
+//   RUN <algo> [src=N] [seed=N] [tenant=NAME] [deadline_ms=D]
+//       -> {"ok": true, "report": {...}} | {"ok": false, "error": "..."}
+//   TENANT <name> [max_in_flight=N] [max_queued=N] [priority=P]
+//       -> {"ok": true}            (registers/reconfigures a tenant)
+//   STATS -> the service stats JSON (single line)
+//   PING  -> {"ok": true}
+//   QUIT  -> closes the connection
+//
+// One thread per connection; concurrency across connections is bounded by
+// the service's session pool and queue, not by the socket layer.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sage.h"
+
+using namespace sage;
+
+namespace {
+
+Result<Graph> LoadGraph(const CommandLine& cmd) {
+  if (cmd.Has("graph")) {
+    return ReadGraphAuto(cmd.GetString("graph"), /*symmetric=*/true);
+  }
+  int log_n = static_cast<int>(cmd.GetInt("logn", 16));
+  uint64_t edges = static_cast<uint64_t>(cmd.GetInt("edges", 1 << 20));
+  uint64_t seed = static_cast<uint64_t>(cmd.GetInt("seed", 1));
+  return RmatGraph(log_n, edges, seed);
+}
+
+/// Flattens a (possibly multi-line) JSON document onto one protocol line.
+std::string OneLine(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (char c : json) out += (c == '\n') ? ' ' : c;
+  return out;
+}
+
+std::string ErrorLine(const std::string& message) {
+  return "{\"ok\": false, \"error\": " + jsonw::Str(message) + "}";
+}
+
+/// Parses "key=value" tokens after the command word into (key, value).
+bool KeyValue(const std::string& token, std::string* key,
+              std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+std::string HandleRun(Engine& engine, std::istringstream& line) {
+  std::string algo;
+  line >> algo;
+  if (algo.empty()) return ErrorLine("RUN needs an algorithm name");
+  RunParams params;
+  RunContext ctx = engine.context();
+  std::string tenant = "default";
+  std::string token;
+  while (line >> token) {
+    std::string key, value;
+    if (!KeyValue(token, &key, &value)) {
+      return ErrorLine("malformed token '" + token + "' (want key=value)");
+    }
+    try {
+      if (key == "src") {
+        params.source = static_cast<vertex_id>(std::stoull(value));
+      } else if (key == "seed") {
+        params.seed = std::stoull(value);
+      } else if (key == "tenant") {
+        tenant = value;
+      } else if (key == "deadline_ms") {
+        ctx.deadline_ms = std::stod(value);
+      } else {
+        return ErrorLine("unknown RUN option '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return ErrorLine("bad value for '" + key + "': " + value);
+    }
+  }
+  auto run = engine.Submit(algo, params, ctx, tenant).get();
+  if (!run.ok()) return ErrorLine(run.status().ToString());
+  return "{\"ok\": true, \"report\": " +
+         OneLine(run.ValueOrDie().ToJson()) + "}";
+}
+
+std::string HandleTenant(Engine& engine, std::istringstream& line) {
+  std::string name;
+  line >> name;
+  if (name.empty()) return ErrorLine("TENANT needs a name");
+  TenantConfig config;
+  std::string token;
+  while (line >> token) {
+    std::string key, value;
+    if (!KeyValue(token, &key, &value)) {
+      return ErrorLine("malformed token '" + token + "' (want key=value)");
+    }
+    try {
+      if (key == "max_in_flight") {
+        config.max_in_flight = std::stoull(value);
+      } else if (key == "max_queued") {
+        config.max_queued = std::stoull(value);
+      } else if (key == "priority") {
+        config.priority = std::stoi(value);
+      } else {
+        return ErrorLine("unknown TENANT option '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return ErrorLine("bad value for '" + key + "': " + value);
+    }
+  }
+  engine.service().RegisterTenant(name, config);
+  return "{\"ok\": true}";
+}
+
+void ServeConnection(int fd, Engine& engine) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string request = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!request.empty() && request.back() == '\r') request.pop_back();
+      std::istringstream line(request);
+      std::string command;
+      line >> command;
+      std::string response;
+      if (command == "RUN") {
+        response = HandleRun(engine, line);
+      } else if (command == "TENANT") {
+        response = HandleTenant(engine, line);
+      } else if (command == "STATS") {
+        response = OneLine(engine.service().StatsJson());
+      } else if (command == "PING") {
+        response = "{\"ok\": true}";
+      } else if (command == "QUIT") {
+        close(fd);
+        return;
+      } else if (command.empty()) {
+        continue;
+      } else {
+        response = ErrorLine("unknown command '" + command + "'");
+      }
+      response += '\n';
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote =
+            write(fd, response.data() + sent, response.size() - sent);
+        if (wrote <= 0) {
+          close(fd);
+          return;
+        }
+        sent += static_cast<size_t>(wrote);
+      }
+    }
+  }
+  close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cmd(argc, argv);
+  if (cmd.Has("help")) {
+    std::printf(
+        "usage: sage_serve [-graph file | -logn N -edges M] [-port P]\n"
+        "                  [-sessions S] [-cache [-cache-bytes B]]\n"
+        "serves RUN/TENANT/STATS/PING/QUIT lines over TCP (see header)\n");
+    return 0;
+  }
+  // A peer that disconnects mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  auto loaded = LoadGraph(cmd);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine(loaded.TakeValue());
+  QueryService::Options options;
+  options.sessions = static_cast<int>(cmd.GetInt("sessions", 4));
+  if (cmd.Has("cache")) {
+    options.cache_bytes =
+        static_cast<uint64_t>(cmd.GetInt("cache-bytes", 256ll << 20));
+  }
+  engine.service(options);
+
+  const int port = static_cast<int>(cmd.GetInt("port", 7477));
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int reuse = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 64) < 0) {
+    std::perror("bind/listen");
+    close(listener);
+    return 1;
+  }
+  std::printf("sage_serve: listening on 127.0.0.1:%d (n=%u m=%llu%s)\n",
+              port, engine.graph().num_vertices(),
+              static_cast<unsigned long long>(engine.graph().num_edges()),
+              cmd.Has("cache") ? ", cache on" : "");
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    connections.emplace_back([fd, &engine] { ServeConnection(fd, engine); });
+  }
+  for (std::thread& t : connections) t.join();
+  close(listener);
+  return 0;
+}

@@ -8,6 +8,11 @@ committed baseline — normally bench/baselines/smoke.json — and fails when:
     --wall-tolerance (default 25%); records whose baseline median is below
     --min-wall-seconds (default 5 ms) are skipped, sub-millisecond rows are
     scheduler jitter, not signal;
+  * the serving p99 latency ("latency_seconds" on QueryService-measured
+    rows) regresses by more than --latency-tolerance (default 25%);
+    baselines with p99 below --min-latency-seconds (default 5 ms) are
+    skipped for the same jitter reason, and a gated row silently losing
+    its latency fields fails outright;
   * any PSAM counter gate (psam_cost, nvram_reads, nvram_writes) of a
     comparable record grows beyond --counter-tolerance (default 2%, plus a
     small absolute slack for tiny counts). Counters are deterministic at
@@ -80,7 +85,8 @@ def counter_values(rec):
 
 
 def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
-            counter_tolerance=0.02, min_wall_seconds=0.005):
+            counter_tolerance=0.02, min_wall_seconds=0.005,
+            latency_tolerance=0.25, min_latency_seconds=0.005):
     """Returns (ok, regressions, warnings, checked_counts)."""
     fresh = {record_key(r): r for r in fresh_doc["records"]}
     base = {record_key(r): r for r in base_doc["records"]}
@@ -141,10 +147,12 @@ def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
             "no overlapping records between fresh and baseline "
             "(different scale, threads, or benchmark set?)"
         )
-        return False, regressions, warnings, {"wall": 0, "counters": 0}
+        return False, regressions, warnings, {
+            "wall": 0, "counters": 0, "latency": 0}
 
     wall_checked = 0
     counters_checked = 0
+    latency_checked = 0
     for k in overlap:
         f_rec, b_rec = fresh[k], base[k]
         name = f"{k[0]}/{k[1]}" + (f" (T{k[3]})" if k[3] else "")
@@ -159,6 +167,28 @@ def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
                     f"{b_wall:.4f}s (+{100.0 * (f_wall / b_wall - 1.0):.0f}%, "
                     f"tolerance {100.0 * wall_tolerance:.0f}%)"
                 )
+
+        b_latency = b_rec.get("latency_seconds")
+        f_latency = f_rec.get("latency_seconds")
+        if b_latency is not None and f_latency is None:
+            # Serving rows carry percentiles; losing them would leave the
+            # serving path's tail latency ungated.
+            regressions.append(
+                f"{name}: baseline row has latency percentiles but the "
+                f"fresh record has none — latency gate lost"
+            )
+        if b_latency is not None and f_latency is not None:
+            b_p99 = float(b_latency.get("p99", 0.0))
+            f_p99 = float(f_latency.get("p99", 0.0))
+            if b_p99 >= min_latency_seconds:
+                latency_checked += 1
+                if f_p99 > b_p99 * (1.0 + latency_tolerance):
+                    regressions.append(
+                        f"{name}: p99 latency {f_p99 * 1000:.2f}ms vs "
+                        f"baseline {b_p99 * 1000:.2f}ms "
+                        f"(+{100.0 * (f_p99 / b_p99 - 1.0):.0f}%, tolerance "
+                        f"{100.0 * latency_tolerance:.0f}%)"
+                    )
 
         f_counters = counter_values(f_rec)
         b_counters = counter_values(b_rec)
@@ -182,7 +212,8 @@ def compare(fresh_doc, base_doc, *, wall_tolerance=0.25,
                         f"{b_counters[gate]:.0f} (allowed {allowed:.0f})"
                     )
 
-    checked = {"wall": wall_checked, "counters": counters_checked}
+    checked = {"wall": wall_checked, "counters": counters_checked,
+               "latency": latency_checked}
     return not regressions, regressions, warnings, checked
 
 
@@ -198,6 +229,8 @@ def run_check(args):
         wall_tolerance=args.wall_tolerance,
         counter_tolerance=args.counter_tolerance,
         min_wall_seconds=args.min_wall_seconds,
+        latency_tolerance=args.latency_tolerance,
+        min_latency_seconds=args.min_latency_seconds,
     )
     for w in warnings:
         print(f"check_perf: warning: {w}")
@@ -208,7 +241,8 @@ def run_check(args):
         f"check_perf: {status} — {len(fresh['records'])} fresh vs "
         f"{len(base['records'])} baseline records; wall gate on "
         f"{checked['wall']} rows (>= {args.min_wall_seconds * 1000:.0f} ms), "
-        f"counter gate on {checked['counters']} rows; "
+        f"counter gate on {checked['counters']} rows, latency gate on "
+        f"{checked['latency']} rows; "
         f"{len(regressions)} regressions, {len(warnings)} warnings"
     )
     return 0 if ok else 1
@@ -220,7 +254,7 @@ def run_check(args):
 
 def make_record(benchmark="b", label="row", wall=0.1, nvram_reads=1_000_000,
                 nvram_writes=0, psam_cost=None, with_counters=True,
-                threads=1):
+                threads=1, latency_p99=None):
     rec = {
         "benchmark": benchmark,
         "label": label,
@@ -238,6 +272,11 @@ def make_record(benchmark="b", label="row", wall=0.1, nvram_reads=1_000_000,
         "peak_intermediate_bytes": 4096,
         "metrics": {},
     }
+    if latency_p99 is not None:
+        rec["latency_seconds"] = {
+            "p50": latency_p99 / 2, "p95": latency_p99 * 0.9,
+            "p99": latency_p99,
+        }
     if with_counters:
         if psam_cost is None:
             psam_cost = nvram_reads + 4.0 * nvram_writes
@@ -319,6 +358,30 @@ def self_test():
 
     ok, _, _, _ = compare(make_doc([make_record()]), stat_base)
     check("fresh record gaining counters passes", ok)
+
+    serve_base = make_doc([make_record(latency_p99=0.010)])
+    ok, _, _, checked = compare(
+        make_doc([make_record(latency_p99=0.011)]), serve_base)
+    check("+10% p99 within 25% tolerance passes",
+          ok and checked["latency"] == 1)
+
+    ok, regs, _, _ = compare(
+        make_doc([make_record(latency_p99=0.020)]), serve_base)
+    check("2x p99 latency regression fails",
+          not ok and any("p99 latency" in r for r in regs))
+
+    tiny_serve = make_doc([make_record(latency_p99=0.001)])
+    ok, _, _, checked = compare(
+        make_doc([make_record(latency_p99=0.004)]), tiny_serve)
+    check("sub-floor p99 baselines are skipped",
+          ok and checked["latency"] == 0)
+
+    ok, regs, _, _ = compare(make_doc([make_record()]), serve_base)
+    check("fresh record losing its latency fields fails",
+          not ok and any("latency gate lost" in r for r in regs))
+
+    ok, _, _, _ = compare(make_doc([make_record(latency_p99=0.010)]), base)
+    check("fresh record gaining latency fields passes", ok)
 
     ok, regs, _, _ = compare(
         make_doc([make_record(label="other")]), base)
@@ -412,6 +475,12 @@ def main():
                         help="allowed relative counter growth (default 0.02)")
     parser.add_argument("--min-wall-seconds", type=float, default=0.005,
                         help="skip wall gate below this baseline median "
+                             "(default 0.005)")
+    parser.add_argument("--latency-tolerance", type=float, default=0.25,
+                        help="allowed relative p99 latency growth "
+                             "(default 0.25)")
+    parser.add_argument("--min-latency-seconds", type=float, default=0.005,
+                        help="skip latency gate below this baseline p99 "
                              "(default 0.005)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in behavior checks and exit")

@@ -12,6 +12,12 @@
 #                                             every algorithm runs from the
 #                                             mapped binary and must match
 #                                             its text-run summary+counters
+#   cli_smoke.sh <sage_cli> --serve           serving leg: -cache/-repeat hits
+#                                             the result cache bit-identically,
+#                                             an epoch bump between repeats
+#                                             misses, tiny -deadline-ms fails
+#                                             DeadlineExceeded, -tenant/-stats
+#                                             render the stats JSON
 set -u
 
 CLI=$1
@@ -89,6 +95,79 @@ case $MODE in
         echo "ok $name (text == mapped binary)"
       fi
     done
+    exit $fail
+    ;;
+  --serve)
+    tmp=$(mktemp -d) || { echo "FAIL: mktemp"; exit 1; }
+    trap 'rm -rf "$tmp"' EXIT
+    fail=0
+    common="-algo bfs -gen rmat -logn 10 -edges 8000 -src 1 -threads 1"
+
+    # Leg 1: a repeated cached query. The first run misses, the second hits,
+    # and the two reports agree bit-for-bit on summary and counters.
+    out=$("$CLI" $common -cache -repeat 2 -json) || {
+      echo "FAIL serve: cached repeat run exited nonzero"; exit 1;
+    }
+    hits=$(printf '%s\n' "$out" | grep '"cache_hit"')
+    if [ "$(printf '%s\n' "$hits" | wc -l)" != 2 ]; then
+      echo "FAIL serve: expected 2 cache_hit fields, got:"; echo "$hits"
+      fail=1
+    fi
+    printf '%s\n' "$hits" | sed -n 1p | grep -q false || {
+      echo "FAIL serve: first run must miss the cold cache"; fail=1;
+    }
+    printf '%s\n' "$hits" | sed -n 2p | grep -q true || {
+      echo "FAIL serve: repeat run must hit the cache"; fail=1;
+    }
+    if [ "$(printf '%s\n' "$out" | grep -c '"summary"')" != 2 ] || \
+       [ "$(printf '%s\n' "$out" | grep '"summary"' | sort -u | wc -l)" != 1 ]
+    then
+      echo "FAIL serve: cached and fresh summaries diverge"; fail=1
+    fi
+    if [ "$(printf '%s\n' "$out" | grep '"counters"' | sort -u | wc -l)" != 1 ]
+    then
+      echo "FAIL serve: cached and fresh counters diverge"; fail=1
+    fi
+    [ $fail = 0 ] && echo "ok serve: repeat hits the cache bit-identically"
+
+    # Leg 2: an epoch bump between repeats invalidates - both runs miss and
+    # the second executes on the bumped epoch.
+    echo "1 1000" > "$tmp/updates.txt"
+    out=$("$CLI" $common -cache -repeat 2 \
+                 -updates-between "$tmp/updates.txt" -json) || {
+      echo "FAIL serve: updates-between run exited nonzero"; exit 1;
+    }
+    if printf '%s\n' "$out" | grep '"cache_hit"' | grep -q true; then
+      echo "FAIL serve: epoch bump must invalidate the cache"; fail=1
+    else
+      printf '%s\n' "$out" | grep -q '"graph_epoch": 1' || {
+        echo "FAIL serve: second run must execute on epoch 1"; fail=1;
+      }
+    fi
+    [ $fail = 0 ] && echo "ok serve: epoch bump misses the cache"
+
+    # Leg 3: an already-expired deadline surfaces DeadlineExceeded (checked
+    # at dequeue - queue wait counts against the deadline).
+    if err=$("$CLI" $common -deadline-ms 0.000001 -json 2>&1); then
+      echo "FAIL serve: expired deadline must exit nonzero"; fail=1
+    elif ! printf '%s\n' "$err" | grep -q DeadlineExceeded; then
+      echo "FAIL serve: expected DeadlineExceeded, got: $err"; fail=1
+    else
+      echo "ok serve: expired deadline rejected"
+    fi
+
+    # Leg 4: -tenant routes through the named tenant and -stats renders the
+    # serving stats document with its counters.
+    out=$("$CLI" $common -cache -repeat 2 -tenant web \
+                 -deadline-ms 30000 -json -stats) || {
+      echo "FAIL serve: tenant/stats run exited nonzero"; exit 1;
+    }
+    for needle in '"web"' '"cache_hits": 1' '"p99_seconds"' '"tenants"'; do
+      printf '%s\n' "$out" | grep -qF "$needle" || {
+        echo "FAIL serve: stats JSON lacks $needle"; fail=1;
+      }
+    done
+    [ $fail = 0 ] && echo "ok serve: tenant + stats surface"
     exit $fail
     ;;
   --all)

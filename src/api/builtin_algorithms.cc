@@ -127,6 +127,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "spanner",
        .table1_row = "O(k)-Spanner",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamSpannerK,
        .description = "O(k)-stretch graph spanner"},
       [](const Graph& g, const Graph&, const RunContext& ctx,
          const RunParams& p) -> AlgoOutput {
@@ -142,6 +143,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "ldd",
        .table1_row = "LDD",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamLddBeta,
        .description = "low-diameter decomposition"},
       [](const Graph& g, const Graph&, const RunContext& ctx,
          const RunParams& p) -> AlgoOutput {
@@ -156,6 +158,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "connectivity",
        .table1_row = "Connectivity",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamLddBeta,
        .description = "connected-component labels"},
       [](const Graph& g, const Graph&, const RunContext& ctx,
          const RunParams& p) -> AlgoOutput {
@@ -171,6 +174,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "spanning-forest",
        .table1_row = "SpanningForest",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamLddBeta,
        .description = "spanning forest edge set"},
       [](const Graph& g, const Graph&, const RunContext& ctx,
          const RunParams& p) -> AlgoOutput {
@@ -182,6 +186,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "biconnectivity",
        .table1_row = "Biconnectivity",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamLddBeta,
        .description = "biconnected-component labels"},
       [](const Graph& g, const Graph&, const RunContext& ctx,
          const RunParams& p) -> AlgoOutput {
@@ -202,6 +207,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "mis",
        .table1_row = "MIS",
        .requires_symmetric = true,
+       .params_used = kParamSeed,
        .description = "maximal independent set"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {
@@ -217,6 +223,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "maximal-matching",
        .table1_row = "Maximal-Matching",
        .requires_symmetric = true,
+       .params_used = kParamSeed | kParamFilterBlock,
        .description = "maximal matching edge set"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {
@@ -228,6 +235,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "coloring",
        .table1_row = "Graph-Coloring",
        .requires_symmetric = true,
+       .params_used = kParamSeed,
        .description = "greedy LLF graph coloring"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {
@@ -244,6 +252,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
   Must(r.Register(
       {.name = "set-cover",
        .table1_row = "Apx-Set-Cover",
+       .params_used = kParamSeed | kParamSetCoverEps | kParamFilterBlock,
        .description = "bucketed approximate set cover"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {
@@ -290,6 +299,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
       {.name = "triangle-count",
        .table1_row = "Triangle-Count",
        .requires_symmetric = true,
+       .params_used = kParamFilterBlock,
        .description = "triangle count via filtered intersection"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {
@@ -303,6 +313,7 @@ void RegisterBuiltinAlgorithms(AlgorithmRegistry& r) {
   Must(r.Register(
       {.name = "pagerank",
        .table1_row = "PageRank",
+       .params_used = kParamPagerank,
        .description = "PageRank to convergence"},
       [](const Graph& g, const Graph&, const RunContext&,
          const RunParams& p) -> AlgoOutput {

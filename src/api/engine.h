@@ -148,6 +148,18 @@ class Engine {
                             state_->epochs->Pin());
   }
 
+  /// As above, under `tenant`'s admission quota, concurrency cap, and
+  /// priority (QueryService::RegisterTenant via service()). `ctx` lets a
+  /// submission override the engine context per call - deadline_ms and
+  /// cancel ride here.
+  std::future<Result<RunReport>> Submit(const std::string& algorithm,
+                                        const RunParams& params,
+                                        const RunContext& ctx,
+                                        const std::string& tenant) {
+    return service().Submit(algorithm, ctx, params, state_->epochs->Pin(),
+                            tenant);
+  }
+
   /// Appends `updates` to the delta log and group-commits: the calling
   /// thread that wins the commit lock drains the whole log (its batch plus
   /// any batches appended concurrently) into a new overlay epoch built
@@ -287,6 +299,14 @@ class Engine {
           s.graph, options, [state](uint64_t seed) -> const Graph* {
             return WeightedTwinFor(*state, seed);
           });
+      if (const std::shared_ptr<ResultCache>& cache = s.service->cache()) {
+        // Epoch-keyed invalidation: a retired epoch can never be pinned
+        // again, so its entries can never hit - drop them eagerly. The
+        // listener captures the cache by shared_ptr (not the service), so
+        // a snapshot outliving the engine still retires safely.
+        s.epochs->AddRetireListener(
+            [cache](uint64_t epoch) { cache->DropEpoch(epoch); });
+      }
     });
     return *s.service;
   }

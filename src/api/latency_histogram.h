@@ -1,0 +1,163 @@
+// Lock-free latency histogram for the serving layer.
+//
+// Log-linear bucketing (HdrHistogram-style): each power-of-two octave of
+// nanoseconds is split into 16 linear sub-buckets, so relative bucket error
+// is bounded at ~6% across the full range (1 ns .. ~584 years) with 976
+// fixed buckets. Recording is wait-free after a shard exists: each
+// recording thread owns a shard (indexed by Scheduler::shard_id(), the
+// same stable per-thread slot the cost model uses) and bumps a relaxed
+// atomic counter in it; readers merge all shards on demand. Shards are
+// lazily CAS-installed on first record from a slot and never freed until
+// the histogram dies, so Record never takes a lock and never blocks a
+// serving thread behind a stats scrape.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "parallel/scheduler.h"
+
+namespace sage {
+
+/// Percentile snapshot of one histogram (seconds, like RunReport times).
+struct LatencySnapshot {
+  uint64_t count = 0;
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+  double max_seconds = 0;
+
+  std::string ToJson() const {
+    using jsonw::Double;
+    using jsonw::U64;
+    return "{\"count\": " + U64(count) +
+           ", \"p50_seconds\": " + Double(p50_seconds) +
+           ", \"p95_seconds\": " + Double(p95_seconds) +
+           ", \"p99_seconds\": " + Double(p99_seconds) +
+           ", \"max_seconds\": " + Double(max_seconds) + "}";
+  }
+};
+
+class LatencyHistogram {
+ public:
+  // 16 sub-buckets per octave; values below 16 ns map to their own bucket.
+  static constexpr uint32_t kSubBits = 4;
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+  // Octaves 4..63 contribute kSubBuckets each on top of the 16 exact
+  // low-value buckets: 16 + 60*16 = 976.
+  static constexpr uint32_t kNumBuckets =
+      kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  LatencyHistogram() {
+    for (auto& shard : shards_) shard.store(nullptr, std::memory_order_relaxed);
+  }
+  ~LatencyHistogram() {
+    for (auto& shard : shards_) delete shard.load(std::memory_order_acquire);
+  }
+  SAGE_DISALLOW_COPY_AND_ASSIGN(LatencyHistogram);
+
+  /// Maps a nanosecond value to its bucket. Exact below kSubBuckets; above,
+  /// the top kSubBits bits after the leading one select the sub-bucket.
+  static uint32_t BucketFor(uint64_t nanos) {
+    if (nanos < kSubBuckets) return static_cast<uint32_t>(nanos);
+    const uint32_t exp = 63 - static_cast<uint32_t>(std::countl_zero(nanos));
+    const uint32_t sub = static_cast<uint32_t>(
+        (nanos >> (exp - kSubBits)) - kSubBuckets);
+    return (exp - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Lower bound of a bucket's value range in nanoseconds (the value
+  /// reported for percentiles that land in the bucket, keeping reported
+  /// latencies conservative).
+  static uint64_t BucketLowerBound(uint32_t bucket) {
+    if (bucket < kSubBuckets) return bucket;
+    const uint32_t exp = bucket / kSubBuckets - 1 + kSubBits;
+    const uint64_t sub = bucket % kSubBuckets;
+    return (uint64_t{1} << exp) + (sub << (exp - kSubBits));
+  }
+
+  /// Records one sample. Wait-free once this thread's shard exists.
+  void Record(uint64_t nanos) {
+    Shard& shard = ShardForThisThread();
+    shard.buckets[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+    // Track the max exactly (buckets only bound it from below).
+    uint64_t seen = shard.max_nanos.load(std::memory_order_relaxed);
+    while (nanos > seen && !shard.max_nanos.compare_exchange_weak(
+                               seen, nanos, std::memory_order_relaxed)) {
+    }
+  }
+
+  void RecordSeconds(double seconds) {
+    if (seconds < 0) seconds = 0;
+    Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  /// Merges all shards and extracts p50/p95/p99. Sees every sample from a
+  /// Record that completed before the call; concurrent records may or may
+  /// not be included (a stats scrape, not a barrier).
+  LatencySnapshot Snapshot() const {
+    std::vector<uint64_t> merged(kNumBuckets, 0);
+    uint64_t total = 0;
+    uint64_t max_nanos = 0;
+    for (const auto& slot : shards_) {
+      const Shard* shard = slot.load(std::memory_order_acquire);
+      if (shard == nullptr) continue;
+      for (uint32_t b = 0; b < kNumBuckets; ++b) {
+        const uint64_t c = shard->buckets[b].load(std::memory_order_relaxed);
+        merged[b] += c;
+        total += c;
+      }
+      max_nanos = std::max(
+          max_nanos, shard->max_nanos.load(std::memory_order_relaxed));
+    }
+    LatencySnapshot snap;
+    snap.count = total;
+    if (total == 0) return snap;
+    snap.p50_seconds = PercentileNanos(merged, total, 0.50) / 1e9;
+    snap.p95_seconds = PercentileNanos(merged, total, 0.95) / 1e9;
+    snap.p99_seconds = PercentileNanos(merged, total, 0.99) / 1e9;
+    snap.max_seconds = max_nanos / 1e9;
+    return snap;
+  }
+
+ private:
+  struct Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> max_nanos{0};
+  };
+
+  Shard& ShardForThisThread() {
+    std::atomic<Shard*>& slot = shards_[Scheduler::shard_id()];
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (SAGE_LIKELY(shard != nullptr)) return *shard;
+    auto fresh = std::make_unique<Shard>();
+    if (slot.compare_exchange_strong(shard, fresh.get(),
+                                     std::memory_order_acq_rel)) {
+      return *fresh.release();
+    }
+    return *shard;  // Lost the race; the winner's shard serves this slot.
+  }
+
+  /// Value (bucket lower bound, in nanos) at cumulative rank q of `total`.
+  static uint64_t PercentileNanos(const std::vector<uint64_t>& buckets,
+                                  uint64_t total, double q) {
+    const uint64_t rank = static_cast<uint64_t>(q * total);
+    uint64_t seen = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > rank) return BucketLowerBound(b);
+    }
+    return BucketLowerBound(kNumBuckets - 1);
+  }
+
+  std::array<std::atomic<Shard*>, Scheduler::kMaxShards> shards_;
+};
+
+}  // namespace sage

@@ -1,4 +1,4 @@
-// QueryService: a bounded concurrent run queue over one shared graph.
+// QueryService: the serving front end over one shared graph.
 //
 // The semi-asymmetric model keeps the graph immutable (on NVRAM), so any
 // number of queries can traverse one graph image at once; per-run
@@ -13,10 +13,37 @@
 //   auto pr  = service.Submit("pagerank", ctx);
 //   if (bfs.get().ok()) ...                       // runs overlap freely
 //
+// On top of the queue the service layers the production serving features:
+//
+//   - Result cache (Options::cache_bytes > 0): epoch-keyed, LRU over a
+//     byte budget (api/result_cache.h). A submission whose canonical key
+//     hits completes its future immediately with a bit-identical copy of
+//     the original run's report (cache_hit = true), bypassing the queue.
+//     Entries are keyed by snapshot epoch, so hot-swapped graphs never
+//     serve stale results; the Engine drops a retired epoch's entries via
+//     an EpochManager retire listener.
+//   - Tenants (RegisterTenant): named submitters with an admission quota
+//     (max queued requests - above it Submit rejects with
+//     ResourceExhausted instead of blocking), a concurrency cap
+//     (max_in_flight - sessions skip the tenant's requests while it is at
+//     the cap), and a priority (higher-priority requests are dequeued
+//     first; FIFO within a priority). Unregistered tenant names get the
+//     default config: unlimited, priority 0, blocking backpressure -
+//     exactly the pre-tenant semantics.
+//   - Deadlines/cancellation: RunContext::deadline_ms is stamped into an
+//     absolute deadline at Submit (queue wait counts against it), checked
+//     at dequeue and at every edgeMap round boundary; expired runs
+//     surface Status DeadlineExceeded, cancelled ones Cancelled.
+//   - Latency histograms: lock-free log-bucketed end-to-end latency
+//     (submit to completion), global and per tenant, surfaced as
+//     p50/p95/p99 in StatsJson(). Only queries that produced a report
+//     (fresh runs and cache hits) are recorded; errors, rejections, and
+//     deadline misses are counted separately.
+//
 // Thread-safety contract:
-//   - Submit() may be called from any number of threads. When the queue is
-//     full it blocks until a slot frees (backpressure, never unbounded
-//     growth).
+//   - Submit() may be called from any number of threads. Default-config
+//     tenants block while the queue is full (backpressure, never unbounded
+//     growth); quota tenants are rejected instead.
 //   - The graph must outlive the service and stay immutable while it runs
 //     (Sage graphs are).
 //   - Submitted RunContexts should leave num_threads at 0: resizing the
@@ -29,16 +56,22 @@
 // directly to serve a graph without the facade.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "api/latency_histogram.h"
 #include "api/registry.h"
+#include "api/result_cache.h"
 #include "api/run_context.h"
 #include "api/run_report.h"
 #include "common/status.h"
@@ -48,6 +81,33 @@
 
 namespace sage {
 
+/// Admission/scheduling configuration for one named tenant.
+struct TenantConfig {
+  /// Concurrency cap: the tenant's requests wait in the queue while this
+  /// many are executing. 0 = unlimited.
+  size_t max_in_flight = 0;
+  /// Queue share: Submit rejects (ResourceExhausted) when the tenant
+  /// already has this many queued requests, or when the global queue is
+  /// full. 0 = no quota - the tenant blocks on a full queue instead
+  /// (the default tenant's semantics).
+  size_t max_queued = 0;
+  /// Dequeue priority; higher runs first, FIFO within a priority.
+  int priority = 0;
+};
+
+/// Monotonic per-tenant (and global) serving counters.
+struct ServingCounters {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;         // admission quota rejections
+  uint64_t completed = 0;        // fresh runs that produced a report
+  uint64_t cache_hits = 0;       // served from the result cache
+  uint64_t errors = 0;           // non-OK other than deadline/cancel
+  uint64_t deadline_misses = 0;  // DeadlineExceeded results
+  uint64_t cancelled = 0;        // Cancelled results
+
+  std::string ToJson() const;
+};
+
 class QueryService {
  public:
   struct Options {
@@ -55,8 +115,11 @@ class QueryService {
     /// queries. Each session runs one query at a time; the queries' inner
     /// parallelism shares the process-wide scheduler.
     int sessions = 4;
-    /// Maximum queued (not yet executing) queries; Submit blocks when full.
+    /// Maximum queued (not yet executing) queries; Submit blocks when full
+    /// (quota tenants are rejected instead).
     size_t queue_capacity = 128;
+    /// Result-cache byte budget; 0 disables the cache.
+    uint64_t cache_bytes = 0;
   };
 
   /// Resolves the weighted twin to run a needs_weights algorithm on when
@@ -77,9 +140,10 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues one query; returns a future that completes when a session
-  /// has executed it. Blocks while the queue is at capacity. After
-  /// Shutdown() the future completes immediately with an Internal error.
+  /// Enqueues one query under the default tenant; returns a future that
+  /// completes when a session has executed it (or immediately, on a cache
+  /// hit). Blocks while the queue is at capacity. After Shutdown() the
+  /// future completes immediately with an Internal error.
   std::future<Result<RunReport>> Submit(std::string algorithm, RunContext ctx,
                                         RunParams params = RunParams{})
       SAGE_EXCLUDES(mu_);
@@ -94,6 +158,19 @@ class QueryService {
       std::string algorithm, RunContext ctx, RunParams params,
       std::shared_ptr<const GraphSnapshot> snapshot) SAGE_EXCLUDES(mu_);
 
+  /// Full-surface Submit: as above, under the named tenant's admission
+  /// quota, concurrency cap, and priority.
+  std::future<Result<RunReport>> Submit(
+      std::string algorithm, RunContext ctx, RunParams params,
+      std::shared_ptr<const GraphSnapshot> snapshot, const std::string& tenant)
+      SAGE_EXCLUDES(mu_);
+
+  /// Registers (or reconfigures) a named tenant. Takes effect for
+  /// subsequent Submits; in-flight and queued requests keep the config
+  /// they were admitted under.
+  void RegisterTenant(const std::string& name, TenantConfig config)
+      SAGE_EXCLUDES(mu_);
+
   /// Stops accepting new queries, drains the queue, joins the sessions.
   /// Idempotent.
   void Shutdown() SAGE_EXCLUDES(shutdown_mu_, mu_);
@@ -105,7 +182,40 @@ class QueryService {
   /// Queries queued but not yet picked up by a session.
   size_t pending() const SAGE_EXCLUDES(mu_);
 
+  /// The result cache, or nullptr when Options::cache_bytes was 0. Shared
+  /// so epoch-retire listeners can outlive the service (Engine captures it
+  /// in an EpochManager listener).
+  const std::shared_ptr<ResultCache>& cache() const { return cache_; }
+
+  /// Global serving counters (all tenants).
+  ServingCounters counters() const SAGE_EXCLUDES(mu_);
+
+  /// Global end-to-end latency percentiles.
+  LatencySnapshot latency() const { return global_histogram_.Snapshot(); }
+
+  /// Per-tenant latency percentiles; zero snapshot for unknown names.
+  LatencySnapshot tenant_latency(const std::string& name) const
+      SAGE_EXCLUDES(mu_);
+
+  /// One JSON document with queue state, global and per-tenant counters
+  /// and latency percentiles, and cache statistics (see README "Serving").
+  std::string StatsJson() const SAGE_EXCLUDES(mu_);
+
  private:
+  /// Per-tenant serving state. Entries are never erased, so sessions may
+  /// hold Tenant pointers across queue operations; `histogram` is
+  /// internally synchronized, everything else is guarded by the service's
+  /// mu_ (not annotated: clang's analysis cannot tie a nested struct's
+  /// fields to the owning service's mutex).
+  struct Tenant {
+    std::string name;
+    TenantConfig config;
+    size_t in_flight = 0;
+    size_t queued = 0;
+    ServingCounters counters;
+    LatencyHistogram histogram;
+  };
+
   struct Request {
     std::string algorithm;
     RunContext ctx;
@@ -115,24 +225,55 @@ class QueryService {
     /// request is destroyed after execution.
     std::shared_ptr<const GraphSnapshot> snapshot;
     std::promise<Result<RunReport>> promise;
+    /// Admitting tenant (stable pointer; entries are never erased).
+    Tenant* tenant = nullptr;
+    /// Tenant priority at admission (snapshotted so a RegisterTenant
+    /// reconfigure cannot starve already-queued work).
+    int priority = 0;
+    /// Canonical result-cache key; empty = do not cache this run.
+    std::string cache_key;
+    std::chrono::steady_clock::time_point submit_time;
   };
 
   void SessionLoop() SAGE_EXCLUDES(mu_);
   Result<RunReport> Execute(Request& request);
+  /// Completes the request: cache insert on success, counters, latency
+  /// recording, then the promise (stats are visible before the future
+  /// unblocks).
+  void FinishRequest(Request& request, Result<RunReport> result)
+      SAGE_EXCLUDES(mu_);
+
+  /// Finds or lazily creates (with the default config) the tenant.
+  Tenant& TenantLocked(const std::string& name) SAGE_REQUIRES(mu_);
+
+  /// Index of the next runnable request - highest priority whose tenant is
+  /// under its in-flight cap, FIFO within a priority - or queue_.size().
+  size_t FindRunnableLocked() const SAGE_REQUIRES(mu_);
 
   const Graph& graph_;
   const Options options_;
   const WeightedTwinProvider twin_provider_;
+  /// Created once in the constructor when cache_bytes > 0; the pointer is
+  /// immutable afterwards (safe to read unlocked).
+  const std::shared_ptr<ResultCache> cache_;
 
   mutable Mutex mu_;
   CondVar queue_not_empty_;
   CondVar queue_not_full_;
   std::deque<Request> queue_ SAGE_GUARDED_BY(mu_);
+  /// Tenant registry. unique_ptr values keep Tenant addresses stable
+  /// across rehashes; entries are never erased.
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_
+      SAGE_GUARDED_BY(mu_);
+  ServingCounters counters_ SAGE_GUARDED_BY(mu_);
   bool shutdown_ SAGE_GUARDED_BY(mu_) = false;
   /// Held for the whole of Shutdown() so concurrent shutdowns (destructor
   /// vs. explicit call) both return only after the sessions are joined.
   /// Ordered before mu_: Shutdown takes it first, then flips shutdown_.
   Mutex shutdown_mu_ SAGE_ACQUIRED_BEFORE(mu_);
+
+  /// End-to-end latency across all tenants; internally synchronized.
+  LatencyHistogram global_histogram_;
 
   /// Sized once in the constructor; Shutdown joins the threads under
   /// shutdown_mu_ but never resizes, so sessions() may read it unlocked.

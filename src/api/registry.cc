@@ -1,6 +1,7 @@
 #include "api/registry.h"
 
 #include <cctype>
+#include <chrono>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
@@ -193,6 +194,31 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
                            ? nvram::GraphResidence::kMappedNvram
                            : nvram::GraphResidence::kPolicy);
 
+  // Cooperative interruption: resolve the run's absolute deadline (the
+  // QueryService stamps one at Submit so queue wait counts against it;
+  // direct callers start the clock here) and arm the execution context.
+  // EdgeMap polls CheckInterrupt() once per round on the root thread.
+  auto deadline = ctx.absolute_deadline;
+  if (deadline == std::chrono::steady_clock::time_point::max() &&
+      ctx.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(ctx.deadline_ms));
+  }
+  const bool interruptible =
+      deadline != std::chrono::steady_clock::time_point::max() ||
+      ctx.cancel != nullptr;
+  if (interruptible) {
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+      return Status::Cancelled(name + ": cancelled before start");
+    }
+    if (deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(name + ": deadline expired before start");
+    }
+    exec.ArmInterrupt(ctx.cancel, deadline);
+  }
+
   // Per-run prefetch pipeline: built only when the context asks for it and
   // the input is a mapped image (in-memory graphs have no pages to advise).
   // Declared after `exec` so its advice thread is joined before the cost
@@ -212,7 +238,23 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
     // to every worker that executes this run's forked work.
     nvram::ScopedExecutionContext scope(exec);
     Timer timer;
-    report.output = entry->runner(g, *gw, run_ctx, params);
+    if (interruptible) {
+      try {
+        report.output = entry->runner(g, *gw, run_ctx, params);
+      } catch (const QueryInterrupt& interrupt) {
+        // Thrown from an edgeMap checkpoint on this (root) thread; the
+        // prefetcher and scoped bindings unwind normally. Partial output is
+        // dropped — the run either completes or reports why it stopped.
+        if (interrupt.code == StatusCode::kCancelled) {
+          return Status::Cancelled(name + ": cancelled mid-run");
+        }
+        return Status::DeadlineExceeded(
+            name + ": deadline exceeded after " +
+            std::to_string(timer.Seconds()) + "s");
+      }
+    } else {
+      report.output = entry->runner(g, *gw, run_ctx, params);
+    }
     report.wall_seconds = timer.Seconds();
   }
   if (prefetcher != nullptr) {

@@ -39,6 +39,18 @@
 
 namespace sage {
 
+/// Bitmask constants naming which RunParams fields an algorithm consumes,
+/// beyond what needs_source/needs_weights already imply. The result cache
+/// folds only consumed fields into its canonical key, so submissions that
+/// differ in an ignored knob (e.g. pagerank_epsilon on a BFS) collapse to
+/// one entry.
+inline constexpr uint32_t kParamSeed = 1u << 0;
+inline constexpr uint32_t kParamLddBeta = 1u << 1;
+inline constexpr uint32_t kParamPagerank = 1u << 2;
+inline constexpr uint32_t kParamSetCoverEps = 1u << 3;
+inline constexpr uint32_t kParamSpannerK = 1u << 4;
+inline constexpr uint32_t kParamFilterBlock = 1u << 5;
+
 /// Static metadata an algorithm declares when registering.
 struct AlgorithmInfo {
   /// Registry key; unique, kebab-case (e.g. "bellman-ford").
@@ -51,6 +63,9 @@ struct AlgorithmInfo {
   bool needs_source = false;
   /// Requires a symmetric (undirected) input graph.
   bool requires_symmetric = false;
+  /// kParam* bitmask of RunParams fields this algorithm reads (source and
+  /// weight_seed are implied by needs_source/needs_weights).
+  uint32_t params_used = 0;
   /// One-line description for -list output and docs.
   std::string description;
 };

@@ -26,8 +26,11 @@
 // configuration used throughout the paper.
 #pragma once
 
+#include <chrono>
+#include <memory>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "core/edge_map.h"
 #include "graph/types.h"
@@ -59,6 +62,20 @@ struct RunContext {
   /// itself is reserved for the registry: submitters configure prefetch
   /// here, not by installing their own pipeline.
   PrefetchOptions prefetch;
+  /// Deadline for the run in milliseconds from submission; 0 = none. The
+  /// QueryService stamps the absolute deadline at Submit time so queue wait
+  /// counts against it; direct AlgorithmRegistry::Run callers get the clock
+  /// started at run entry. An expired deadline surfaces as a
+  /// DeadlineExceeded Status, checked at edgeMap round boundaries.
+  double deadline_ms = 0;
+  /// Optional cooperative cancel token; the submitter keeps a reference
+  /// and calls RequestCancel() to stop the run (Cancelled Status).
+  std::shared_ptr<CancelToken> cancel;
+  /// Absolute deadline, reserved for the QueryService (like
+  /// edge_map.prefetcher): stamped at Submit so queue time counts against
+  /// deadline_ms. time_point::max() = derive from deadline_ms at run entry.
+  std::chrono::steady_clock::time_point absolute_deadline =
+      std::chrono::steady_clock::time_point::max();
 
   /// Snapshots the calling thread's ambient device state (the current
   /// ExecutionContext's - normally Default()'s) into a context, for

@@ -30,6 +30,9 @@ std::string RunReport::ToJson() const {
   j += "  \"prefetch_waves\": " + U64(prefetch_waves) + ",\n";
   j += "  \"pages_prefetched\": " + U64(pages_prefetched) + ",\n";
   j += "  \"pages_faulted\": " + U64(pages_faulted) + ",\n";
+  j += "  \"cache_hit\": " + std::string(cache_hit ? "true" : "false") +
+       ",\n";
+  j += "  \"queue_seconds\": " + Double(queue_seconds) + ",\n";
   j += "  \"counters\": " + cost.ToJson() + "\n";
   j += "}";
   return j;
@@ -56,6 +59,10 @@ std::string RunReport::ToString() const {
                   static_cast<unsigned long long>(graph_epoch),
                   static_cast<unsigned long long>(delta_edges));
     s += buf;
+  }
+  if (cache_hit) {
+    s += "cache: hit (summary and counters replayed from the original "
+         "run)\n";
   }
   if (prefetch_enabled) {
     std::snprintf(buf, sizeof(buf),

@@ -86,6 +86,13 @@ struct RunReport {
   /// Page-frontier pages left to the synchronous fault path (dropped by
   /// the wave budget or queue overflow).
   uint64_t pages_faulted = 0;
+  /// True when this report was served from the QueryService result cache
+  /// (summary/counters are a copy of the original run's; wall_seconds is
+  /// the original run's kernel time, queue_seconds the cached lookup's).
+  bool cache_hit = false;
+  /// Seconds between Submit and the start of execution (queue wait plus
+  /// admission). 0 for direct AlgorithmRegistry::Run calls.
+  double queue_seconds = 0.0;
 
   /// PSAM work of the run: dram + nvram_reads + omega * nvram_writes.
   double PsamCost() const { return cost.PsamCost(omega); }

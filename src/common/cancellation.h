@@ -1,0 +1,36 @@
+// Cooperative cancellation for long-running queries. A CancelToken is
+// shared between the submitter (who flips it) and the running query (which
+// polls it at edgeMap round boundaries via
+// nvram::ExecutionContext::CheckInterrupt). Deadlines reuse the same
+// polling points but compare against a steady_clock time point, so an
+// expired deadline and an explicit cancel surface through one mechanism.
+#pragma once
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace sage {
+
+/// Shared flag a submitter flips to request that a running query stop.
+/// Queries observe it cooperatively; RequestCancel never blocks.
+class CancelToken {
+ public:
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown from interrupt checkpoints on the run's root thread to unwind a
+/// query that exceeded its deadline or was cancelled. Internal control
+/// flow only: the algorithm-registry frame catches it and converts it to a
+/// DeadlineExceeded/Cancelled Status, so it never crosses the API surface.
+struct QueryInterrupt {
+  StatusCode code;
+};
+
+}  // namespace sage

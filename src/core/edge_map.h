@@ -31,6 +31,7 @@
 #include "graph/graph.h"
 #include "graph/prefetch.h"
 #include "nvram/cost_model.h"
+#include "nvram/execution_context.h"
 #include "nvram/memory_tracker.h"
 #include "parallel/parallel.h"
 #include "parallel/primitives.h"
@@ -362,6 +363,10 @@ VertexSubset EdgeMapChunked(const GraphT& g, const VertexSubset& frontier,
 template <typename GraphT, typename F>
 VertexSubset EdgeMap(const GraphT& g, VertexSubset& frontier, F f,
                      const EdgeMapOptions& opts = EdgeMapOptions{}) {
+  // Interrupt checkpoint: one poll per traversal round. Throws
+  // QueryInterrupt on the run's root thread when the query's deadline has
+  // passed or it was cancelled; free for uninterruptible runs.
+  nvram::ExecutionContext::Current().CheckInterrupt();
   if (frontier.IsEmpty()) return VertexSubset::Empty(g.num_vertices());
   uint64_t deg = internal::FrontierDegree(g, frontier);
   const uint64_t m = g.num_edges();

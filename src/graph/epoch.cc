@@ -52,6 +52,11 @@ void EpochManager::SetRetireCallback(RetireCallback callback) {
   shared_->on_retire = std::move(callback);
 }
 
+void EpochManager::AddRetireListener(RetireCallback listener) {
+  MutexLock lock(shared_->mu);
+  shared_->listeners.push_back(std::move(listener));
+}
+
 std::shared_ptr<const GraphSnapshot> EpochManager::MakeSnapshot(
     std::shared_ptr<Shared> shared, uint64_t epoch, Graph graph,
     uint64_t delta_edges) {
@@ -68,13 +73,16 @@ std::shared_ptr<const GraphSnapshot> EpochManager::MakeSnapshot(
         // retirement, so waiters observe the mapping already dropped.
         delete s;
         RetireCallback callback;
+        std::vector<RetireCallback> listeners;
         {
           MutexLock lock(shared->mu);
           shared->live.erase(retired);
           callback = shared->on_retire;
+          listeners = shared->listeners;
         }
         shared->retired_cv.NotifyAll();
         if (callback) callback(retired);
+        for (const RetireCallback& listener : listeners) listener(retired);
       });
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/thread_annotations.h"
@@ -69,6 +70,14 @@ class EpochManager {
   /// epochs retiring after the call.
   void SetRetireCallback(RetireCallback callback);
 
+  /// Appends a retire listener; listeners are never replaced or cleared
+  /// (callers owning a shorter-lived object must capture it by shared_ptr
+  /// — a snapshot can outlive the manager and still fires the hooks).
+  /// Subsystems that must not trample each other (the Engine's result
+  /// cache vs. test instrumentation) use this instead of
+  /// SetRetireCallback's replace semantics.
+  void AddRetireListener(RetireCallback listener);
+
  private:
   /// Retirement bookkeeping, shared with every snapshot's deleter so a
   /// snapshot outliving the manager still retires cleanly.
@@ -77,6 +86,7 @@ class EpochManager {
     mutable CondVar retired_cv;
     std::set<uint64_t> live SAGE_GUARDED_BY(mu);
     RetireCallback on_retire SAGE_GUARDED_BY(mu);
+    std::vector<RetireCallback> listeners SAGE_GUARDED_BY(mu);
   };
 
   static std::shared_ptr<const GraphSnapshot> MakeSnapshot(

@@ -34,6 +34,11 @@
 // destroyed.
 #pragma once
 
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/cancellation.h"
 #include "nvram/cost_model.h"
 #include "nvram/memory_tracker.h"
 #include "parallel/scheduler.h"
@@ -74,9 +79,54 @@ class ExecutionContext {
   /// device state but never write back to it.
   static ExecutionContext& Default();
 
+  /// Arms cooperative interruption for this run: an optional cancel token,
+  /// an optional absolute deadline (steady clock; time_point::max() means
+  /// none), and the run's root thread. Checkpoints only throw on the root
+  /// thread — unwinding a scheduler worker mid-job would strand the pool —
+  /// so a trip observed on a worker is re-observed at the next root-thread
+  /// checkpoint.
+  void ArmInterrupt(std::shared_ptr<CancelToken> cancel,
+                    std::chrono::steady_clock::time_point deadline) {
+    cancel_ = std::move(cancel);
+    deadline_ = deadline;
+    root_thread_ = std::this_thread::get_id();
+    interruptible_ = true;
+  }
+
+  bool interruptible() const { return interruptible_; }
+
+  /// Returns true if the run's deadline has passed or its cancel token is
+  /// set. Cheap when not armed (one bool load).
+  bool InterruptRequested() const {
+    if (!interruptible_) return false;
+    if (cancel_ && cancel_->cancelled()) return true;
+    return deadline_ != std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Interrupt checkpoint: called at edgeMap round boundaries. Throws
+  /// QueryInterrupt on the run's root thread when the deadline has passed
+  /// or the cancel token is set; no-op elsewhere.
+  void CheckInterrupt() const {
+    if (SAGE_LIKELY(!interruptible_)) return;
+    if (std::this_thread::get_id() != root_thread_) return;
+    if (cancel_ && cancel_->cancelled()) {
+      throw QueryInterrupt{StatusCode::kCancelled};
+    }
+    if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      throw QueryInterrupt{StatusCode::kDeadlineExceeded};
+    }
+  }
+
  private:
   CostModel cost_model_;
   MemoryTracker memory_tracker_;
+  std::shared_ptr<CancelToken> cancel_;
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+  std::thread::id root_thread_;
+  bool interruptible_ = false;
 };
 
 /// RAII binding of an ExecutionContext to the calling thread (and, through

@@ -1,0 +1,215 @@
+// Serving soak: a sustained mixed workload - concurrent queries across
+// prioritized tenants, dynamic updates, compaction, and result-cache churn
+// - that must stay clean end to end: zero errors, zero deadline misses at
+// generous deadlines, zero cancellations, every superseded epoch retired
+// exactly once, and cache counters that add up.
+//
+// Duration comes from SAGE_SOAK_SECONDS (default 5, the sage_soak_smoke
+// CTest budget); the CI soak lane runs this binary under ThreadSanitizer
+// with SAGE_SOAK_SECONDS=60. Keep the workload free of intentionally-racy
+// constructs - TSan findings here are real serving-layer bugs.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sage.h"
+
+namespace sage {
+namespace {
+
+double SoakSeconds() {
+  const char* env = std::getenv("SAGE_SOAK_SECONDS");
+  if (env == nullptr || *env == '\0') return 5.0;
+  const double parsed = std::atof(env);
+  return parsed > 0 ? parsed : 5.0;
+}
+
+// Deterministic per-thread mixing (splitmix64) - the soak must not depend
+// on global RNG state shared across threads.
+uint64_t Mix(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(Soak, MixedServingWorkloadStaysClean) {
+  const double seconds = SoakSeconds();
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+
+  // Declared before the engine: the EpochManager fires retire listeners
+  // for the final epoch from its destructor, so the bookkeeping must
+  // outlive the engine.
+  std::mutex retired_mu;
+  std::vector<uint64_t> retired;
+
+  Engine engine(RmatGraph(10, 6000, /*seed=*/3));
+  const vertex_id n = engine.graph().num_vertices();
+  QueryService::Options options;
+  options.sessions = 3;
+  // Small budget on purpose: steady insert/evict churn alongside hits.
+  options.cache_bytes = 1 << 20;
+  engine.service(options);
+  engine.service().RegisterTenant("interactive", {.priority = 5});
+  engine.service().RegisterTenant("batch", {.priority = 0});
+  engine.service().RegisterTenant("metered", {.max_queued = 2});
+
+  // Epoch-retirement bookkeeping: every retirement is announced exactly
+  // once, and only for epochs that have actually been superseded.
+  engine.epochs().AddRetireListener([&](uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(retired_mu);
+    retired.push_back(epoch);
+  });
+
+  const std::vector<std::string> algos = {"bfs", "kcore", "connectivity",
+                                          "triangle-count", "pagerank"};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> metered_rejections{0};
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  auto record_failure = [&](const std::string& what) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    if (failures.size() < 16) failures.push_back(what);
+  };
+
+  std::vector<std::thread> threads;
+
+  // Query submitters: mixed algorithms and sources, alternating tenants,
+  // generous deadlines (a miss at 30s on this graph is a serving bug).
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t rng = 0x5eed + static_cast<uint64_t>(t);
+      RunContext ctx = engine.context();
+      ctx.deadline_ms = 30'000;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        const uint64_t roll = Mix(rng);
+        RunParams params;
+        // A few sources repeat often, so cache hits and misses both occur.
+        params.source = static_cast<vertex_id>(roll % 8);
+        const std::string& algo = algos[roll % algos.size()];
+        const char* tenant = (roll & 1) ? "interactive" : "batch";
+        auto run = engine.Submit(algo, params, ctx, tenant).get();
+        if (!run.ok()) {
+          record_failure(algo + " (" + tenant +
+                         "): " + run.status().ToString());
+        }
+        queries.fetch_add(1);
+      }
+    });
+  }
+
+  // Metered submitter: its quota rejections are expected under load;
+  // anything else must succeed.
+  threads.emplace_back([&] {
+    uint64_t rng = 0xabcd;
+    RunContext ctx = engine.context();
+    ctx.deadline_ms = 30'000;
+    while (std::chrono::steady_clock::now() < stop_at) {
+      RunParams params;
+      params.source = static_cast<vertex_id>(Mix(rng) % n);
+      auto run = engine.Submit("bfs", params, ctx, "metered").get();
+      if (run.ok()) {
+        queries.fetch_add(1);
+      } else if (run.status().code() == StatusCode::kResourceExhausted) {
+        metered_rejections.fetch_add(1);
+      } else {
+        record_failure("metered bfs: " + run.status().ToString());
+      }
+    }
+  });
+
+  // Updater: small insert/remove batches bump the epoch and invalidate
+  // cache entries under the queries' feet.
+  threads.emplace_back([&] {
+    uint64_t rng = 0x0dd5;
+    while (std::chrono::steady_clock::now() < stop_at) {
+      std::vector<EdgeUpdate> batch;
+      for (int i = 0; i < 4; ++i) {
+        const vertex_id u = static_cast<vertex_id>(Mix(rng) % n);
+        const vertex_id v = static_cast<vertex_id>(Mix(rng) % n);
+        batch.push_back((Mix(rng) & 3) == 0 ? EdgeUpdate::Remove(u, v)
+                                            : EdgeUpdate::Insert(u, v));
+      }
+      auto applied = engine.ApplyUpdates(batch);
+      if (!applied.ok()) {
+        record_failure("ApplyUpdates: " + applied.status().ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Compactor: periodically folds the delta overlay back into the base.
+  threads.emplace_back([&] {
+    while (std::chrono::steady_clock::now() < stop_at) {
+      auto compacted = engine.Compact();
+      if (!compacted.ok()) {
+        record_failure("Compact: " + compacted.status().ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+
+  for (const std::string& failure : failures) {
+    ADD_FAILURE() << failure;
+  }
+  EXPECT_GT(queries.load(), 0u);
+
+  // Serving counters: nothing failed, nothing missed its (generous)
+  // deadline, nothing was cancelled; the only rejections are the metered
+  // tenant's quota.
+  const ServingCounters counters = engine.service().counters();
+  EXPECT_EQ(counters.errors, 0u);
+  EXPECT_EQ(counters.deadline_misses, 0u);
+  EXPECT_EQ(counters.cancelled, 0u);
+  EXPECT_EQ(counters.rejected, metered_rejections.load());
+  EXPECT_EQ(counters.completed + counters.cache_hits, queries.load());
+
+  // Cache accounting adds up and stayed within budget. The lookup runs
+  // before admission (hits bypass the queue), so a quota rejection still
+  // counted its miss: misses = executed + rejected, exactly, at zero
+  // errors.
+  const ResultCacheStats cache = engine.service().cache()->stats();
+  EXPECT_EQ(cache.hits, counters.cache_hits);
+  EXPECT_EQ(cache.misses, counters.completed + counters.rejected);
+  EXPECT_LE(cache.bytes, uint64_t{1} << 20);
+
+  // Epoch hygiene: every retirement announced exactly once, only for
+  // superseded epochs, and - with all queries drained - everything but the
+  // current epoch retires (retirement makes progress; nothing leaks a
+  // pin). The last query's snapshot release can trail its future by a
+  // beat, so wait for retirement rather than asserting it raced through.
+  const uint64_t current = engine.epoch();
+  engine.epochs().WaitForRetiredBelow(current);
+  {
+    std::lock_guard<std::mutex> lock(retired_mu);
+    std::set<uint64_t> unique(retired.begin(), retired.end());
+    EXPECT_EQ(unique.size(), retired.size())
+        << "an epoch retired more than once";
+    for (uint64_t epoch : retired) EXPECT_LT(epoch, current);
+    EXPECT_EQ(retired.size(), current)
+        << "every superseded epoch (0.." << current - 1
+        << ") must have retired once the queries drained";
+  }
+  EXPECT_EQ(engine.epochs().live_epochs(), 1u);
+
+  // The stats document renders with all the soak's tenants present.
+  const std::string stats = engine.service().StatsJson();
+  EXPECT_NE(stats.find("\"interactive\""), std::string::npos);
+  EXPECT_NE(stats.find("\"metered\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sage
