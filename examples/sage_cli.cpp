@@ -63,6 +63,13 @@ void PrintUsage() {
       "[-tenant NAME]\n"
       "                [-repeat N [-updates-between file]] [-stats]\n"
       "       sage_cli [-graph file | -gen ...] -convert out.bsadj|out.adj\n"
+      "       sage_cli [-graph file | -gen ...] -convert-sharded out.bsadjx "
+      "[-shards K]\n"
+      "-convert-sharded splits the graph into K edge-balanced .bsadj\n"
+      "segments plus a .bsadjx manifest (default K=4); a .bsadjx -graph\n"
+      "input opens the assembled multi-shard mapping, reports per-shard\n"
+      "NVRAM counters in -json, and honors -shard-parallel (one edgeMap\n"
+      "driver thread per shard).\n"
       "-updates applies an edge-update stream ('u v [w]' inserts, '- u v'\n"
       "removes) as a DRAM delta over the loaded graph before the run;\n"
       "-compact merges the delta into the base (rewriting a mapped .bsadj\n"
@@ -92,12 +99,16 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (cmd.Has("convert")) {
+  if (cmd.Has("convert") || cmd.Has("convert-sharded")) {
     // Conversion mode: load (or generate), serialize, exit. Destination
     // extension picks the format; .bsadj graphs then reload via mmap.
-    std::string out = cmd.GetString("convert");
+    // -convert-sharded splits into -shards (default 4) .bsadj segments
+    // plus the .bsadjx manifest at the destination path.
+    const bool sharded = cmd.Has("convert-sharded");
+    std::string out = cmd.GetString(sharded ? "convert-sharded" : "convert");
     if (out.empty()) {
-      std::fprintf(stderr, "-convert needs a destination path\n");
+      std::fprintf(stderr, "-convert%s needs a destination path\n",
+                   sharded ? "-sharded" : "");
       return 1;
     }
     auto loaded = LoadGraph(cmd);
@@ -106,16 +117,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     const Graph& g = loaded.ValueOrDie();
-    Status st = out.ends_with(".bsadj") ? WriteBinaryGraph(g, out)
-                                        : WriteAdjacencyGraph(g, out);
+    Status st;
+    uint32_t shards = 0;
+    if (sharded) {
+      shards = static_cast<uint32_t>(cmd.GetInt("shards", 4));
+      st = WriteShardedGraph(g, out, shards);
+    } else {
+      st = out.ends_with(".bsadj") ? WriteBinaryGraph(g, out)
+                                   : WriteAdjacencyGraph(g, out);
+    }
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s: n=%u m=%llu%s%s\n", out.c_str(), g.num_vertices(),
+    std::printf("wrote %s: n=%u m=%llu%s%s", out.c_str(), g.num_vertices(),
                 static_cast<unsigned long long>(g.num_edges()),
                 g.weighted() ? " weighted" : "",
                 g.symmetric() ? " symmetric" : "");
+    if (sharded) std::printf(" shards=%u", shards);
+    std::printf("\n");
     return 0;
   }
 
@@ -142,6 +162,8 @@ int main(int argc, char** argv) {
   ctx.num_threads = static_cast<int>(cmd.GetInt("threads", 0));
   // Page-frontier prefetching; only effective with a mapped .bsadj graph.
   ctx.prefetch.enabled = cmd.Has("prefetch");
+  // Shard-parallel edgeMap drive; only effective on a .bsadjx graph.
+  ctx.edge_map.shard_parallel = cmd.Has("shard-parallel");
   // Apply the thread budget before loading so generation/building honor it
   // too (the run itself would apply it, but only after the graph exists).
   if (ctx.num_threads > 0) Scheduler::Reset(ctx.num_threads);

@@ -426,6 +426,29 @@ def self_test():
           and sum("new row?" in w for w in warns) == 1
           and any("1 new/unmatched" in w for w in warns))
 
+    # Multi-shard rows: one family whose rows differ only in the `shards`
+    # config key. The whole family rides the adopt-the-baseline path, and
+    # once adopted the shards key is part of row identity.
+    def shard_record(shards, label=None):
+        rec = make_record(benchmark="multi_shard",
+                          label=label or f"bfs {shards} shard(s)")
+        rec["config"]["shards"] = str(shards)
+        return rec
+
+    shard_doc = make_doc([make_record()] + [shard_record(k)
+                                            for k in (1, 2, 4)])
+    ok, _, warns, _ = compare(shard_doc, base)
+    check("multi_shard rows keyed by shards config adopt as one family",
+          ok and any("multi_shard (3 row(s))" in w for w in warns))
+
+    moved_doc = make_doc([make_record(), shard_record(1), shard_record(2),
+                          shard_record(8, label="bfs 4 shard(s)")])
+    ok, regs, warns, _ = compare(moved_doc, shard_doc)
+    check("a changed shards config un-matches the row instead of "
+          "comparing against the old shard count",
+          not ok and any("coverage lost" in r for r in regs)
+          and sum("new row?" in w for w in warns) == 1)
+
     sweep_base = make_doc([make_record(), make_record(threads=4)])
     ok, _, warns, _ = compare(make_doc([make_record()]), sweep_base)
     check("row missing at one thread width only warns",

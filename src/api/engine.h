@@ -170,6 +170,17 @@ class Engine {
   /// queries are unaffected (they hold their own epoch pins).
   Result<UpdateStats> ApplyUpdates(std::span<const EdgeUpdate> updates) {
     State& s = *state_;
+    if (auto storage = s.graph.storage();
+        storage != nullptr && storage->shard_count() > 0) {
+      // Updating a sharded base needs a delta overlay per shard segment
+      // (and Compact a per-segment rewrite); neither exists yet. See the
+      // ROADMAP follow-up under "Multi-shard graphs".
+      return Status::Unimplemented(
+          "ApplyUpdates: dynamic updates are not supported on a sharded "
+          "graph (storage has " +
+          std::to_string(storage->shard_count()) +
+          " shards); open the monolithic .bsadj image instead");
+    }
     const vertex_id n = s.graph.num_vertices();
     for (const EdgeUpdate& e : updates) {
       if (e.u >= n || e.v >= n) {
@@ -223,6 +234,14 @@ class Engine {
   /// there is nothing to merge. Safe from any thread.
   Result<CompactionStats> Compact() {
     State& s = *state_;
+    if (auto storage = s.graph.storage();
+        storage != nullptr && storage->shard_count() > 0) {
+      return Status::Unimplemented(
+          "Compact: compaction is not supported on a sharded graph "
+          "(storage has " +
+          std::to_string(storage->shard_count()) +
+          " shards); open the monolithic .bsadj image instead");
+    }
     MutexLock lock(s.update_mu);
     uint64_t last = s.applied_seq;
     std::vector<EdgeUpdate> pending = s.delta_log.Drain(&last);

@@ -193,6 +193,14 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
   cm.SetGraphResidence(g.nvram_resident()
                            ? nvram::GraphResidence::kMappedNvram
                            : nvram::GraphResidence::kPolicy);
+  // Multi-shard storage: register the shard boundaries so the run's NVRAM
+  // graph traffic is also binned per shard (and kShardBound placement
+  // resolves). Attribution is a side array; the totals the parity tests
+  // pin are untouched.
+  if (auto storage = g.storage();
+      storage != nullptr && storage->shard_count() > 0) {
+    cm.SetGraphShards(storage->shard_edge_starts());
+  }
 
   // Cooperative interruption: resolve the run's absolute deadline (the
   // QueryService stamps one at Submit so queue wait counts against it;
@@ -268,6 +276,7 @@ Result<RunReport> AlgorithmRegistry::RunImpl(const std::string& name,
     report.pages_faulted = pstats.pages_faulted;
   }
   report.cost = cm.Totals();
+  report.per_shard = cm.ShardTotals();
   report.peak_intermediate_bytes = exec.memory_tracker().PeakBytes();
   report.algorithm = info.name;
   report.threads = num_workers();

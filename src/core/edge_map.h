@@ -22,7 +22,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/chunk_pool.h"
@@ -78,6 +80,16 @@ struct EdgeMapOptions {
   /// traversal so madvise(MADV_WILLNEED) advice runs one wave ahead of
   /// compute. Not owned; may be null (the default - no prefetch).
   Prefetcher* prefetcher = nullptr;
+  /// Multi-shard graphs only (storage shard_count() > 1): drive each round
+  /// with one dedicated thread per shard - dense rounds partition the
+  /// destination vertices by shard, sparse rounds bucket the frontier by
+  /// source shard - and merge the sub-frontiers at the round boundary.
+  /// Opt-in: the shard drivers interleave updates in a different order
+  /// than the single-driver path, so order-sensitive functors (writeMin
+  /// races) may resolve differently and the per-round charge *placement*
+  /// shifts between threads; leave off where bit-identical parity with the
+  /// monolithic drive matters (the default, pinned by ShardParity).
+  bool shard_parallel = false;
 };
 
 namespace internal {
@@ -98,16 +110,18 @@ uint64_t FrontierDegree(const GraphT& g, const VertexSubset& frontier) {
                               [&](size_t i) { return g.degree(ids[i]); });
 }
 
-/// Dense (pull) traversal: for every vertex v with cond(v), scan neighbors
-/// until an update succeeds or cond(v) becomes false.
+/// Pull-scans destination vertices [lo, hi) of a dense round into the
+/// shared `next` flag array. Charges exactly what the full-range dense
+/// traversal charges for those vertices, so EdgeMapDense(= one [0, n)
+/// call) and the shard-parallel drive (one call per shard range) are the
+/// same accounting.
 template <typename GraphT, typename F>
-VertexSubset EdgeMapDense(const GraphT& g, const VertexSubset& frontier,
-                          F& f) {
-  const vertex_id n = g.num_vertices();
+void EdgeMapDenseRange(const GraphT& g, const VertexSubset& frontier, F& f,
+                       std::vector<uint8_t>& next, vertex_id lo,
+                       vertex_id hi) {
   auto& cm = nvram::Cost();
-  std::vector<uint8_t> next(n, 0);
   const auto& in_frontier = frontier.flags();
-  parallel_for(0, n, [&](size_t vi) {
+  parallel_for(lo, hi, [&](size_t vi) {
     vertex_id v = static_cast<vertex_id>(vi);
     if (!f.cond(v)) return;
     uint64_t examined = 0;
@@ -119,6 +133,17 @@ VertexSubset EdgeMapDense(const GraphT& g, const VertexSubset& frontier,
     // Frontier-flag probes are DRAM work reads; one write if v activated.
     cm.ChargeWorkRead(examined, u64(vi));
   });
+}
+
+/// Dense (pull) traversal: for every vertex v with cond(v), scan neighbors
+/// until an update succeeds or cond(v) becomes false.
+template <typename GraphT, typename F>
+VertexSubset EdgeMapDense(const GraphT& g, const VertexSubset& frontier,
+                          F& f) {
+  const vertex_id n = g.num_vertices();
+  auto& cm = nvram::Cost();
+  std::vector<uint8_t> next(n, 0);
+  EdgeMapDenseRange(g, frontier, f, next, 0, n);
   cm.ChargeWorkWrite(n / 8 + 1);  // output flag array, word-granular
   size_t count =
       reduce_add<size_t>(n, [&](size_t v) { return next[v] ? 1 : 0; });
@@ -355,6 +380,117 @@ VertexSubset EdgeMapChunked(const GraphT& g, const VertexSubset& frontier,
   return VertexSubset::Sparse(n, std::move(out));
 }
 
+/// Runs one sparse variant over a sub-frontier (shared by EdgeMap and the
+/// shard-parallel drive). `frontier_degree` is the sub-frontier's own
+/// out-degree sum.
+template <typename GraphT, typename F>
+VertexSubset RunSparseVariant(const GraphT& g, const VertexSubset& frontier,
+                              F& f, uint64_t frontier_degree,
+                              SparseVariant variant) {
+  switch (variant) {
+    case SparseVariant::kSparse:
+      return EdgeMapSparse(g, frontier, f, frontier_degree);
+    case SparseVariant::kBlocked:
+      return EdgeMapBlocked(g, frontier, f, frontier_degree);
+    case SparseVariant::kChunked:
+      break;
+  }
+  return EdgeMapChunked(g, frontier, f, frontier_degree);
+}
+
+/// Shard-parallel drive (EdgeMapOptions::shard_parallel): one dedicated
+/// driver thread per graph shard, each running the normal dense-range or
+/// sparse machinery over its shard's slice, sub-frontiers merged at the
+/// round boundary. Every driver binds the coordinator's ExecutionContext,
+/// so all charges land in the run's own cost model (in the driver's unique
+/// scheduler shard slot - counters stay exact, placement differs). Dense
+/// rounds partition destinations [vstart[s], vstart[s+1]); sparse rounds
+/// bucket the frontier by source shard, which keeps each driver's graph
+/// reads inside its own shard's segment.
+template <typename GraphT, typename F>
+VertexSubset EdgeMapShardParallel(const GraphT& g, VertexSubset& frontier,
+                                  F& f, bool use_dense,
+                                  const EdgeMapOptions& opts) {
+  auto storage = g.storage();
+  const auto vstarts = storage->shard_vertex_starts();
+  const uint32_t k = storage->shard_count();
+  const vertex_id n = g.num_vertices();
+  auto& ctx = nvram::ExecutionContext::Current();
+  auto& cm = nvram::Cost();
+
+  auto drive = [&](auto&& body) {
+    std::vector<std::thread> drivers;
+    std::vector<std::exception_ptr> errors(k);
+    drivers.reserve(k);
+    for (uint32_t s = 0; s < k; ++s) {
+      drivers.emplace_back([&, s] {
+        nvram::ScopedExecutionContext bind(ctx);
+        // Under GraphLayout::kShardBound the driver models a thread pinned
+        // to its segment's socket, so its same-shard reads stay local.
+        nvram::ScopedGraphShardBinding shard_bind(s);
+        try {
+          body(s);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  };
+
+  if (use_dense) {
+    SAGE_CHECK_MSG(g.symmetric(),
+                   "dense (pull) traversal requires a symmetric graph");
+    frontier.ToDense();
+    std::vector<uint8_t> next(n, 0);
+    drive([&](uint32_t s) {
+      EdgeMapDenseRange(g, frontier, f, next, vstarts[s], vstarts[s + 1]);
+    });
+    cm.ChargeWorkWrite(n / 8 + 1);  // output flag array, word-granular
+    size_t count =
+        reduce_add<size_t>(n, [&](size_t v) { return next[v] ? 1 : 0; });
+    return VertexSubset::Dense(n, std::move(next), count);
+  }
+
+  frontier.ToSparse();
+  const auto& ids = frontier.ids();
+  // Shards own contiguous vertex ranges, so bucketing is a binary search
+  // over the k+1 boundaries per frontier vertex.
+  std::vector<std::vector<vertex_id>> buckets(k);
+  for (vertex_id u : ids) {
+    uint32_t s = static_cast<uint32_t>(
+        std::upper_bound(vstarts.begin() + 1, vstarts.end(), u) -
+        (vstarts.begin() + 1));
+    buckets[s < k ? s : k - 1].push_back(u);
+  }
+  cm.ChargeWorkRead(u64(ids.size()));   // bucketing pass
+  cm.ChargeWorkWrite(u64(ids.size()));
+  std::vector<VertexSubset> outs;
+  outs.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) outs.push_back(VertexSubset::Empty(n));
+  drive([&](uint32_t s) {
+    if (buckets[s].empty()) return;
+    VertexSubset sub = VertexSubset::Sparse(n, std::move(buckets[s]));
+    uint64_t sub_degree = 0;
+    for (vertex_id u : sub.ids()) sub_degree += g.degree_uncharged(u);
+    outs[s] = RunSparseVariant(g, sub, f, sub_degree, opts.sparse_variant);
+  });
+  size_t merged_size = 0;
+  for (auto& out : outs) merged_size += out.size();
+  std::vector<vertex_id> merged;
+  merged.reserve(merged_size);
+  for (auto& out : outs) {
+    out.ToSparse();
+    merged.insert(merged.end(), out.ids().begin(), out.ids().end());
+  }
+  cm.ChargeWorkRead(u64(merged.size()));   // merge copy
+  cm.ChargeWorkWrite(u64(merged.size()));
+  return VertexSubset::Sparse(n, std::move(merged));
+}
+
 }  // namespace internal
 
 /// Direction-optimizing edgeMap. Applies F along edges out of `frontier`
@@ -391,6 +527,17 @@ VertexSubset EdgeMap(const GraphT& g, VertexSubset& frontier, F f,
       }
     }
   }
+  if constexpr (!GraphT::kCompressed) {
+    // Shard-parallel drive: one dedicated driver thread per shard of a
+    // multi-shard graph (opt-in, see EdgeMapOptions::shard_parallel).
+    if (opts.shard_parallel) {
+      auto storage = g.storage();
+      if (storage != nullptr && storage->shard_count() > 1) {
+        return internal::EdgeMapShardParallel(g, frontier, f, use_dense,
+                                              opts);
+      }
+    }
+  }
   if (use_dense) {
     SAGE_CHECK_MSG(g.symmetric(),
                    "dense (pull) traversal requires a symmetric graph");
@@ -398,15 +545,8 @@ VertexSubset EdgeMap(const GraphT& g, VertexSubset& frontier, F f,
     return internal::EdgeMapDense(g, frontier, f);
   }
   frontier.ToSparse();
-  switch (opts.sparse_variant) {
-    case SparseVariant::kSparse:
-      return internal::EdgeMapSparse(g, frontier, f, deg);
-    case SparseVariant::kBlocked:
-      return internal::EdgeMapBlocked(g, frontier, f, deg);
-    case SparseVariant::kChunked:
-      break;
-  }
-  return internal::EdgeMapChunked(g, frontier, f, deg);
+  return internal::RunSparseVariant(g, frontier, f, deg,
+                                    opts.sparse_variant);
 }
 
 }  // namespace sage

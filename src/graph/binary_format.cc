@@ -82,6 +82,13 @@ Status ValidateHeader(const BinaryGraphHeader& h, uint64_t file_size,
     return Status::Corruption(path + ": image type widths " + widths +
                               " do not match this build");
   }
+  if ((h.flags & kBinaryGraphShardSegmentFlag) != 0) {
+    // A segment's offsets are shard-local and its neighbor ids global;
+    // only the manifest knows how to rebase them (graph/shard.h).
+    return Status::Corruption(
+        path + ": this image is one shard segment of a multi-shard graph; "
+               "open its .bsadjx manifest instead (MapShardedGraph)");
+  }
   const bool weighted = (h.flags & kBinaryGraphWeightedFlag) != 0;
   const uint64_t n = h.num_vertices;
   const uint64_t m = h.num_edges;

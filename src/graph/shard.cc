@@ -1,0 +1,323 @@
+#include "graph/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "graph/delta.h"
+
+namespace sage {
+
+namespace {
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteExact(std::FILE* f, const void* data, size_t bytes,
+                  const std::string& path) {
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short write on " + path + ": " + ErrnoString());
+  }
+  return Status::OK();
+}
+
+std::string BaseOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Smallest x >= base with x % kShardSegmentCongruence == want.
+uint64_t AlignCongruent(uint64_t base, uint64_t want) {
+  const uint64_t c = kShardSegmentCongruence;
+  return base + (want + c - base % c) % c;
+}
+
+/// Builds the header of segment `i` covering vertices [v0, v1) and edge
+/// slots [e0, e1) of a graph with the given global flags. Section starts
+/// follow the congruence contract documented in shard.h.
+BinaryGraphHeader SegmentHeader(vertex_id v0, vertex_id v1, edge_offset e0,
+                                edge_offset e1, bool weighted,
+                                bool symmetric) {
+  const uint64_t n_i = v1 - v0;
+  const uint64_t m_i = e1 - e0;
+  const uint64_t want = (e0 * sizeof(vertex_id)) % kShardSegmentCongruence;
+  BinaryGraphHeader h{};
+  std::memcpy(h.magic, kBinaryGraphMagic, sizeof(h.magic));
+  h.version = kBinaryGraphVersion;
+  h.endian_tag = kBinaryGraphEndianTag;
+  h.num_vertices = n_i;
+  h.num_edges = m_i;
+  h.flags = kBinaryGraphShardSegmentFlag |
+            (weighted ? kBinaryGraphWeightedFlag : 0) |
+            (symmetric ? kBinaryGraphSymmetricFlag : 0);
+  h.type_widths = kBinaryGraphTypeWidths;
+  h.offsets_start = sizeof(BinaryGraphHeader);
+  h.neighbors_start =
+      AlignCongruent(h.offsets_start + (n_i + 1) * sizeof(edge_offset), want);
+  h.weights_start =
+      weighted ? AlignCongruent(h.neighbors_start + m_i * sizeof(vertex_id),
+                                want)
+               : 0;
+  return h;
+}
+
+/// Writes one segment file; returns its structural checksum and byte size
+/// through the out-params.
+Status WriteSegment(const Graph& g, vertex_id v0, vertex_id v1,
+                    edge_offset e0, edge_offset e1, const std::string& path,
+                    uint64_t* checksum, uint64_t* file_bytes) {
+  const uint64_t n_i = v1 - v0;
+  const uint64_t m_i = e1 - e0;
+  BinaryGraphHeader h =
+      SegmentHeader(v0, v1, e0, e1, g.weighted(), g.symmetric());
+
+  // Shard-local offsets: global offsets rebased so offsets[0] == 0.
+  std::vector<edge_offset> local(n_i + 1);
+  std::span<const edge_offset> global = g.raw_offsets();
+  for (uint64_t v = 0; v <= n_i; ++v) local[v] = global[v0 + v] - e0;
+
+  uint64_t sum = Fnv1a64(&h, sizeof(h));
+  sum = Fnv1a64(local.data(), local.size() * sizeof(edge_offset), sum);
+  *checksum = sum;
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing: " +
+                           ErrnoString());
+  }
+  uint64_t pos = 0;
+  auto emit = [&](const void* data, uint64_t bytes) -> Status {
+    SAGE_RETURN_IF_ERROR(WriteExact(f.get(), data, bytes, path));
+    pos += bytes;
+    return Status::OK();
+  };
+  // Congruence padding can reach kShardSegmentCongruence bytes per section.
+  static constexpr uint8_t kPad[4096] = {};
+  auto pad_to = [&](uint64_t target) -> Status {
+    SAGE_DCHECK(target >= pos && target - pos < kShardSegmentCongruence);
+    while (pos < target) {
+      SAGE_RETURN_IF_ERROR(
+          emit(kPad, std::min<uint64_t>(target - pos, sizeof(kPad))));
+    }
+    return Status::OK();
+  };
+  SAGE_RETURN_IF_ERROR(emit(&h, sizeof(h)));
+  SAGE_RETURN_IF_ERROR(emit(local.data(), local.size() * sizeof(edge_offset)));
+  SAGE_RETURN_IF_ERROR(pad_to(h.neighbors_start));
+  SAGE_RETURN_IF_ERROR(
+      emit(g.raw_neighbors().data() + e0, m_i * sizeof(vertex_id)));
+  if (g.weighted()) {
+    SAGE_RETURN_IF_ERROR(pad_to(h.weights_start));
+    SAGE_RETURN_IF_ERROR(
+        emit(g.raw_weights().data() + e0, m_i * sizeof(weight_t)));
+  }
+  *file_bytes = pos;
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed on " + path + ": " + ErrnoString());
+  }
+  return Status::OK();
+}
+
+/// True when a manifest-relative segment path is safe to join: non-empty,
+/// relative, and free of '..' components.
+bool SegmentPathOk(const std::string& p) {
+  if (p.empty() || p[0] == '/') return false;
+  size_t i = 0;
+  while (i < p.size()) {
+    size_t j = p.find('/', i);
+    if (j == std::string::npos) j = p.size();
+    if (p.compare(i, j - i, "..") == 0) return false;
+    i = j + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<vertex_id> PartitionVertices(const Graph& g, uint32_t k) {
+  SAGE_CHECK(k >= 1);
+  const vertex_id n = g.num_vertices();
+  const edge_offset m = g.num_edges();
+  std::span<const edge_offset> offsets = g.raw_offsets();
+  std::vector<vertex_id> bounds(k + 1);
+  bounds[0] = 0;
+  for (uint32_t s = 1; s < k; ++s) {
+    // First vertex whose adjacency starts at or past the s-th edge quantile;
+    // boundaries stay non-decreasing (empty shards when k > n).
+    const edge_offset target = m * s / k;
+    const auto it =
+        std::lower_bound(offsets.begin(), offsets.end() - 1, target);
+    bounds[s] = std::max(bounds[s - 1],
+                         static_cast<vertex_id>(it - offsets.begin()));
+  }
+  bounds[k] = n;
+  return bounds;
+}
+
+Status WriteShardedGraph(const Graph& g, const std::string& manifest_path,
+                         uint32_t num_shards) {
+  if (num_shards < 1 || num_shards > kMaxGraphShards) {
+    return Status::InvalidArgument(
+        "shard count " + std::to_string(num_shards) + " outside [1, " +
+        std::to_string(kMaxGraphShards) + "]");
+  }
+  // Serialization walks the raw CSR spans; materialize an overlay first.
+  if (g.has_overlay()) {
+    return WriteShardedGraph(FlattenOverlay(g), manifest_path, num_shards);
+  }
+  std::string stem = manifest_path;
+  if (stem.size() > 7 && stem.ends_with(".bsadjx")) {
+    stem.resize(stem.size() - 7);
+  }
+  const std::vector<vertex_id> bounds = PartitionVertices(g, num_shards);
+  std::span<const edge_offset> offsets = g.raw_offsets();
+
+  std::string manifest;
+  manifest += "BSADJX " + std::to_string(kShardManifestVersion) + "\n";
+  manifest += "n " + std::to_string(g.num_vertices()) + " m " +
+              std::to_string(g.num_edges()) + " weighted " +
+              (g.weighted() ? "1" : "0") + " symmetric " +
+              (g.symmetric() ? "1" : "0") + " shards " +
+              std::to_string(num_shards) + "\n";
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const vertex_id v0 = bounds[s], v1 = bounds[s + 1];
+    const edge_offset e0 = offsets[v0], e1 = offsets[v1];
+    const std::string seg = stem + ".shard" + std::to_string(s) + ".bsadj";
+    uint64_t checksum = 0, file_bytes = 0;
+    SAGE_RETURN_IF_ERROR(
+        WriteSegment(g, v0, v1, e0, e1, seg, &checksum, &file_bytes));
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "shard %u %u %" PRIu64 " %" PRIu64 " %016" PRIx64
+                  " %" PRIu64 " %s\n",
+                  v0, v1, static_cast<uint64_t>(e0),
+                  static_cast<uint64_t>(e1), checksum, file_bytes,
+                  BaseOf(seg).c_str());
+    manifest += line;
+  }
+  FilePtr f(std::fopen(manifest_path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + manifest_path + " for writing: " +
+                           ErrnoString());
+  }
+  SAGE_RETURN_IF_ERROR(
+      WriteExact(f.get(), manifest.data(), manifest.size(), manifest_path));
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed on " + manifest_path + ": " +
+                           ErrnoString());
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
+  FilePtr f(std::fopen(manifest_path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + manifest_path + ": " +
+                           ErrnoString());
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  // Manifests are k+2 short lines; cap the read so a mis-pointed path to a
+  // huge binary cannot balloon memory before the header check rejects it.
+  constexpr size_t kMaxManifestBytes = 1 << 20;
+  while ((got = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    text.append(buf, got);
+    if (text.size() > kMaxManifestBytes) {
+      return Status::Corruption(manifest_path + ": manifest too large");
+    }
+  }
+  if (std::ferror(f.get()) != 0) {
+    return Status::IOError("read error in " + manifest_path + ": " +
+                           ErrnoString());
+  }
+
+  auto corrupt = [&](const std::string& why) {
+    return Status::Corruption(manifest_path + ": " + why);
+  };
+  std::istringstream in(text);
+  std::string word;
+  uint32_t version = 0;
+  if (!(in >> word) || word != "BSADJX" || !(in >> version)) {
+    return corrupt("not a .bsadjx manifest (bad header line)");
+  }
+  if (version == 0 || version > kShardManifestVersion) {
+    return corrupt("unsupported manifest version " + std::to_string(version));
+  }
+  ShardManifest mf;
+  uint32_t weighted = 0, symmetric = 0, num_shards = 0;
+  auto field = [&](const char* key, auto* out) {
+    return static_cast<bool>(in >> word) && word == key &&
+           static_cast<bool>(in >> *out);
+  };
+  if (!field("n", &mf.num_vertices) || !field("m", &mf.num_edges) ||
+      !field("weighted", &weighted) || !field("symmetric", &symmetric) ||
+      !field("shards", &num_shards)) {
+    return corrupt("malformed graph line");
+  }
+  mf.weighted = weighted != 0;
+  mf.symmetric = symmetric != 0;
+  if (num_shards < 1 || num_shards > kMaxGraphShards) {
+    return corrupt("shard count " + std::to_string(num_shards) +
+                   " outside [1, " + std::to_string(kMaxGraphShards) + "]");
+  }
+  mf.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    ShardInfo info;
+    std::string sum_hex;
+    if (!(in >> word) || word != "shard" || !(in >> info.vertex_begin) ||
+        !(in >> info.vertex_end) || !(in >> info.edge_begin) ||
+        !(in >> info.edge_end) || !(in >> sum_hex) ||
+        !(in >> info.file_bytes) || !(in >> info.segment_path)) {
+      return corrupt("malformed shard line " + std::to_string(s));
+    }
+    char* end = nullptr;
+    info.checksum = std::strtoull(sum_hex.c_str(), &end, 16);
+    if (end == sum_hex.c_str() || *end != '\0') {
+      return corrupt("bad checksum on shard line " + std::to_string(s));
+    }
+    if (!SegmentPathOk(info.segment_path)) {
+      return corrupt("unsafe segment path '" + info.segment_path +
+                     "' (must be relative, no '..')");
+    }
+    mf.shards.push_back(std::move(info));
+  }
+  // Ranges must tile [0, n) and [0, m): contiguous, non-overlapping,
+  // covering, in order.
+  vertex_id v_cursor = 0;
+  edge_offset e_cursor = 0;
+  for (size_t s = 0; s < mf.shards.size(); ++s) {
+    const ShardInfo& info = mf.shards[s];
+    if (info.vertex_begin != v_cursor || info.vertex_end < info.vertex_begin ||
+        info.edge_begin != e_cursor || info.edge_end < info.edge_begin) {
+      return corrupt("shard " + std::to_string(s) +
+                     " ranges overlap or leave a gap");
+    }
+    v_cursor = info.vertex_end;
+    e_cursor = info.edge_end;
+  }
+  if (v_cursor != mf.num_vertices || e_cursor != mf.num_edges) {
+    return corrupt("shard ranges do not cover the graph (cover " +
+                   std::to_string(v_cursor) + "/" +
+                   std::to_string(mf.num_vertices) + " vertices, " +
+                   std::to_string(e_cursor) + "/" +
+                   std::to_string(mf.num_edges) + " edges)");
+  }
+  return mf;
+}
+
+}  // namespace sage

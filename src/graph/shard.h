@@ -1,0 +1,110 @@
+// Multi-shard graph partitioning: the .bsadjx manifest and its .bsadj
+// segment files.
+//
+// A sharded graph splits the vertex set into k contiguous, edge-balanced
+// shards. Each shard is serialized as its own .bsadj segment (flagged
+// kBinaryGraphShardSegmentFlag) and a small text manifest ties them
+// together:
+//
+//   BSADJX 1
+//   n <n> m <m> weighted <0|1> symmetric <0|1> shards <k>
+//   shard <v0> <v1> <e0> <e1> <checksum> <bytes> <segment-relpath>   (x k)
+//
+// Segment layout deviates from a monolithic .bsadj in exactly three ways:
+//   - header n/m count only the shard's vertices [v0, v1) and its edge
+//     slots [e0, e1);
+//   - the offsets section is shard-local (offsets[0] == 0), rebased by e0
+//     at load; neighbor ids stay *global* so the assembled CSR needs no id
+//     translation;
+//   - the neighbors (and weights) section starts are congruent to 4*e0
+//     modulo kShardSegmentCongruence instead of 64-aligned. That
+//     congruence is what lets MapShardedGraph splice each segment's
+//     interior pages into one contiguous anonymous reservation with
+//     MAP_FIXED (sharded_storage.h): after assembly the global CSR arrays
+//     are genuinely dense, so Graph, every algorithm, every writer, and
+//     the prefetcher run unchanged over a k-shard graph.
+//
+// The manifest checksum is structural: FNV-1a 64 over the segment's header
+// and offsets section - the bytes the loader reads anyway - so corruption
+// of the CSR skeleton is caught at open without paging in the (potentially
+// enormous) edge data; edge-data truncation is caught by the recorded file
+// size, and out-of-range neighbor ids by the standard structure scan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/binary_format.h"
+#include "graph/graph.h"
+#include "nvram/cost_model.h"
+
+namespace sage {
+
+/// Upper bound on shards per graph (bounds manifest parsing and the cost
+/// model's per-shard attribution arrays).
+inline constexpr uint32_t kMaxGraphShards = 64;
+static_assert(kMaxGraphShards == nvram::kMaxAttributedGraphShards,
+              "the cost model's attribution arrays must fit every shard");
+
+/// Current manifest format version. Readers reject anything newer.
+inline constexpr uint32_t kShardManifestVersion = 1;
+
+/// Segment sections are placed congruent to the shard's global byte offset
+/// modulo this (a multiple of every supported page size), so segment file
+/// pages land page-aligned when spliced into the assembled global mapping.
+inline constexpr uint64_t kShardSegmentCongruence = 1u << 16;
+
+/// One shard's entry in the manifest.
+struct ShardInfo {
+  vertex_id vertex_begin = 0;  // owns vertices [vertex_begin, vertex_end)
+  vertex_id vertex_end = 0;
+  edge_offset edge_begin = 0;  // owns edge slots [edge_begin, edge_end)
+  edge_offset edge_end = 0;
+  uint64_t checksum = 0;   // FNV-1a 64 over segment header + offsets bytes
+  uint64_t file_bytes = 0; // exact segment file size (truncation guard)
+  std::string segment_path;  // relative to the manifest's directory
+};
+
+/// Parsed and internally validated .bsadjx manifest.
+struct ShardManifest {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  bool weighted = false;
+  bool symmetric = false;
+  std::vector<ShardInfo> shards;
+};
+
+/// FNV-1a 64 running hash (the manifest's structural checksum).
+inline uint64_t Fnv1a64(const void* data, size_t bytes,
+                        uint64_t h = 14695981039346656037ull) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Edge-balanced contiguous partition of g's vertices into k shards:
+/// returns k+1 boundaries (b[0] = 0, b[k] = n) minimizing the spread of
+/// per-shard edge counts over contiguous vertex ranges.
+std::vector<vertex_id> PartitionVertices(const Graph& g, uint32_t k);
+
+/// Serializes `g` as `num_shards` .bsadj segments plus the manifest at
+/// `manifest_path` (segments land beside it as <stem>.shard<i>.bsadj).
+/// InvalidArgument when num_shards is outside [1, kMaxGraphShards];
+/// IOError on write failure. Overlay graphs are flattened first, like
+/// WriteBinaryGraph.
+Status WriteShardedGraph(const Graph& g, const std::string& manifest_path,
+                         uint32_t num_shards);
+
+/// Parses the manifest at `manifest_path` and validates its internal
+/// consistency: version, shard count in [1, kMaxGraphShards], contiguous
+/// non-overlapping vertex and edge ranges covering [0, n) and [0, m), and
+/// well-formed segment paths (relative, no '..'). Does not touch segment
+/// files; MapShardedGraph (sharded_storage.h) validates those.
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path);
+
+}  // namespace sage

@@ -75,7 +75,22 @@ int ThreadSocket(int num_sockets) {
   return socket < num_sockets ? socket : num_sockets - 1;
 }
 
+// Shard the calling thread drives (ScopedGraphShardBinding); kShardBound
+// puts a bound thread on its shard's socket regardless of scheduler slot.
+thread_local uint32_t bound_graph_shard = kNoBoundGraphShard;
+
 }  // namespace
+
+uint32_t BoundGraphShard() { return bound_graph_shard; }
+
+ScopedGraphShardBinding::ScopedGraphShardBinding(uint32_t shard)
+    : previous_(bound_graph_shard) {
+  bound_graph_shard = shard;
+}
+
+ScopedGraphShardBinding::~ScopedGraphShardBinding() {
+  bound_graph_shard = previous_;
+}
 
 void CostModel::EnsureMemoryModeTags() {
   if (policy_ != AllocPolicy::kMemoryMode) return;
@@ -96,10 +111,75 @@ void CostModel::EnsureMemoryModeTags() {
 
 void CostModel::ResetCounters() {
   for (auto& shard : shards_) shard.totals = CostTotals{};
+  if (shard_io_ != nullptr) {
+    std::fill_n(shard_io_.get(),
+                shard_io_stride_ * static_cast<size_t>(Scheduler::kMaxShards),
+                0);
+  }
   EnsureMemoryModeTags();
   for (size_t i = 0; i < memory_mode_tag_lines_; ++i) {
     memory_mode_tags_[i].store(~0ULL, std::memory_order_relaxed);
   }
+}
+
+void CostModel::SetGraphShards(std::span<const uint64_t> edge_starts) {
+  if (edge_starts.size() < 2 ||
+      edge_starts.size() > kMaxAttributedGraphShards + 1) {
+    num_graph_shards_ = 0;
+    shard_io_.reset();
+    shard_io_stride_ = 0;
+    return;
+  }
+  const uint32_t k = static_cast<uint32_t>(edge_starts.size() - 1);
+  num_graph_shards_ = k;
+  std::copy(edge_starts.begin(), edge_starts.end(), graph_shard_starts_);
+  // One (reads, writes) pair per shard per scheduler slot, slot strides
+  // padded to cache lines so concurrently charging threads never share one.
+  const size_t words_per_slot = static_cast<size_t>(k) * 2;
+  const size_t line_words = kCacheLineBytes / sizeof(uint64_t);
+  shard_io_stride_ =
+      (words_per_slot + line_words - 1) / line_words * line_words;
+  const size_t total =
+      shard_io_stride_ * static_cast<size_t>(Scheduler::kMaxShards);
+  shard_io_ = std::make_unique<uint64_t[]>(total);  // value-initialized
+}
+
+uint32_t CostModel::GraphShardOf(uint64_t addr_hint) const {
+  const uint32_t k = num_graph_shards_;
+  if (k == 0) return 0;
+  // boundaries[s] <= addr_hint < boundaries[s+1]; hints at or past m (e.g.
+  // a zero-degree tail vertex's offset) clamp into the last shard.
+  const uint64_t* b = graph_shard_starts_;
+  uint32_t s =
+      static_cast<uint32_t>(std::upper_bound(b + 1, b + k, addr_hint) -
+                            (b + 1));
+  return s;
+}
+
+void CostModel::AttributeGraphShard(uint64_t words, uint64_t addr_hint,
+                                    bool is_write) {
+  const uint32_t k = num_graph_shards_;
+  if (k == 0) return;
+  int id = Scheduler::shard_id();
+  const size_t slot =
+      static_cast<size_t>(id >= 0 && id < Scheduler::kMaxShards ? id : 0);
+  const uint32_t s = GraphShardOf(addr_hint);
+  shard_io_[slot * shard_io_stride_ + static_cast<size_t>(s) * 2 +
+            (is_write ? 1 : 0)] += words;
+}
+
+std::vector<ShardIoTotals> CostModel::ShardTotals() const {
+  std::vector<ShardIoTotals> out(num_graph_shards_);
+  if (shard_io_ == nullptr) return out;
+  for (int slot = 0; slot < Scheduler::kMaxShards; ++slot) {
+    const uint64_t* base =
+        shard_io_.get() + static_cast<size_t>(slot) * shard_io_stride_;
+    for (uint32_t s = 0; s < num_graph_shards_; ++s) {
+      out[s].nvram_reads += base[s * 2];
+      out[s].nvram_writes += base[s * 2 + 1];
+    }
+  }
+  return out;
 }
 
 void CostModel::ChargeNvramRead(Shard& s, uint64_t words,
@@ -119,6 +199,28 @@ void CostModel::ChargeNvramRead(Shard& s, uint64_t words,
         int data_socket =
             static_cast<int>(line % static_cast<uint64_t>(config_.num_sockets));
         if (data_socket != ThreadSocket(config_.num_sockets)) {
+          s.totals.remote_nvram_accesses += words;
+        }
+        break;
+      }
+      case GraphLayout::kShardBound: {
+        // Each shard's segment is bound whole to socket (shard mod
+        // sockets); with no shards registered this degenerates to
+        // kSingleSocket (everything on socket 0). A thread driving one
+        // shard (ScopedGraphShardBinding - the shard-parallel edgeMap
+        // drivers) sits on that shard's socket, so its same-shard reads
+        // are local; unbound threads fall back to their scheduler-slot
+        // socket, under which shard-oblivious scans look interleaved.
+        int data_socket = static_cast<int>(
+            GraphShardOf(addr_hint) %
+            static_cast<uint32_t>(config_.num_sockets));
+        const uint32_t bound = BoundGraphShard();
+        int thread_socket =
+            bound != kNoBoundGraphShard
+                ? static_cast<int>(
+                      bound % static_cast<uint32_t>(config_.num_sockets))
+                : ThreadSocket(config_.num_sockets);
+        if (data_socket != thread_socket) {
           s.totals.remote_nvram_accesses += words;
         }
         break;
@@ -178,6 +280,7 @@ void CostModel::ChargeGraphRead(uint64_t words, uint64_t addr_hint) {
       // NVRAM file image, so its reads pay NVRAM cost even here.
       if (graph_residence_ == GraphResidence::kMappedNvram) {
         ChargeNvramRead(s, words, addr_hint);
+        AttributeGraphShard(words, addr_hint, /*is_write=*/false);
       } else {
         s.totals.dram_reads += words;
       }
@@ -185,6 +288,7 @@ void CostModel::ChargeGraphRead(uint64_t words, uint64_t addr_hint) {
     case AllocPolicy::kGraphNvram:
     case AllocPolicy::kAllNvram:
       ChargeNvramRead(s, words, addr_hint);
+      AttributeGraphShard(words, addr_hint, /*is_write=*/false);
       break;
     case AllocPolicy::kMemoryMode:
       ChargeMemoryMode(s, words, addr_hint, /*is_write=*/false);
@@ -202,6 +306,7 @@ void CostModel::ChargeGraphWrite(uint64_t words, uint64_t addr_hint) {
     case AllocPolicy::kGraphNvram:
     case AllocPolicy::kAllNvram:
       ChargeNvramWrite(s, words, addr_hint);
+      AttributeGraphShard(words, addr_hint, /*is_write=*/true);
       break;
     case AllocPolicy::kMemoryMode:
       ChargeMemoryMode(s, words, addr_hint, /*is_write=*/true);

@@ -27,7 +27,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
 #include "parallel/scheduler.h"
@@ -82,6 +84,12 @@ enum class GraphLayout : uint8_t {
   /// Graph pages interleaved across sockets (numactl -i all); roughly half
   /// of all reads are remote.
   kInterleaved = 2,
+  /// Multi-shard graphs only: shard s lives wholly on socket s mod
+  /// num_sockets (each segment mmap-bound to one node). Reads within a
+  /// thread's own shard's socket are local; crossing shards pays the
+  /// remote multiplier. Falls back to kSingleSocket behaviour when no
+  /// shard boundaries are registered.
+  kShardBound = 3,
 };
 
 /// Device parameters for the emulated NVRAM. Defaults follow the paper's
@@ -113,6 +121,45 @@ struct EmulationConfig {
 
   /// Emulated latency of an NVRAM write (= omega * nvram_read_ns).
   double nvram_write_ns() const { return omega * nvram_read_ns; }
+};
+
+/// Most graph shards the per-shard attribution arrays can bin. Mirrors
+/// graph-layer kMaxGraphShards (shard.h pins the two together with a
+/// static_assert); duplicated here so the cost model stays below the graph
+/// layer in the include hierarchy.
+inline constexpr uint32_t kMaxAttributedGraphShards = 64;
+
+/// Per-graph-shard NVRAM traffic (word granularity), reported by
+/// CostModel::ShardTotals() after SetGraphShards registered boundaries.
+struct ShardIoTotals {
+  uint64_t nvram_reads = 0;
+  uint64_t nvram_writes = 0;
+};
+
+/// Sentinel for BoundGraphShard(): the calling thread drives no shard.
+inline constexpr uint32_t kNoBoundGraphShard = ~0u;
+
+/// The graph shard the calling thread is currently driving, or
+/// kNoBoundGraphShard. Shard-parallel drivers (core/edge_map.h) bind their
+/// shard via ScopedGraphShardBinding; GraphLayout::kShardBound then places
+/// a bound thread on its shard's socket - modelling the deployment where
+/// each segment's driver thread is pinned to the node the segment is
+/// mmap-bound to - instead of deriving the socket from the thread's
+/// scheduler slot.
+uint32_t BoundGraphShard();
+
+/// RAII binding of the calling thread to one graph shard for the NUMA
+/// model (see BoundGraphShard). Thread-local: jobs a bound thread hands to
+/// the scheduler pool run unbound on the workers.
+class ScopedGraphShardBinding {
+ public:
+  explicit ScopedGraphShardBinding(uint32_t shard);
+  ~ScopedGraphShardBinding();
+
+  SAGE_DISALLOW_COPY_AND_ASSIGN(ScopedGraphShardBinding);
+
+ private:
+  uint32_t previous_;
 };
 
 /// Aggregated access totals (word granularity).
@@ -204,6 +251,21 @@ class CostModel {
   void SetGraphLayout(GraphLayout layout) { graph_layout_ = layout; }
   GraphLayout graph_layout() const { return graph_layout_; }
 
+  /// Registers the edge-index shard boundaries of a multi-shard graph
+  /// (k+1 entries, [0] = 0, [k] = m; k in [1, 64]) and turns on per-shard
+  /// attribution: subsequent graph charges that route to NVRAM are also
+  /// binned by which shard their addr_hint falls in, and kShardBound uses
+  /// the same boundaries for its NUMA placement. Pass an empty span to
+  /// disable. Setup-time only, like the other setters; AlgorithmRegistry
+  /// calls this per run from GraphStorage::shard_edge_starts().
+  void SetGraphShards(std::span<const uint64_t> edge_starts);
+  uint32_t graph_shard_count() const { return num_graph_shards_; }
+
+  /// Per-shard NVRAM read/write words charged since the last
+  /// ResetCounters, one entry per registered shard (empty when attribution
+  /// is off). Sums the per-thread slots, like Totals().
+  std::vector<ShardIoTotals> ShardTotals() const;
+
   /// Sets where the graph region physically lives. kMappedNvram pins graph
   /// reads to the NVRAM path regardless of the AllocPolicy (set per run by
   /// AlgorithmRegistry from Graph::nvram_resident()).
@@ -272,6 +334,12 @@ class CostModel {
                         bool is_write);
   void MaybeThrottle(Shard& s);
 
+  /// Which registered graph shard an edge-index addr_hint falls in
+  /// (clamped; 0 when attribution is off).
+  uint32_t GraphShardOf(uint64_t addr_hint) const;
+  /// Bins a graph charge that routed to NVRAM into its shard's slot.
+  void AttributeGraphShard(uint64_t words, uint64_t addr_hint, bool is_write);
+
   /// (Re)allocates the per-model MemoryMode tag array when the policy can
   /// reach the cache simulator. Called from the setters, which run during
   /// single-threaded setup, so charging never observes a resize.
@@ -289,6 +357,13 @@ class CostModel {
   /// statistical hit rate without racing on memory.
   std::unique_ptr<std::atomic<uint64_t>[]> memory_mode_tags_;
   size_t memory_mode_tag_lines_ = 0;
+  /// Multi-shard attribution state (SetGraphShards). The counter block
+  /// mirrors the Shard slots: one cache-line-padded stride per scheduler
+  /// slot holding k (reads, writes) pairs, plain adds on the hot path.
+  uint32_t num_graph_shards_ = 0;
+  size_t shard_io_stride_ = 0;  // words per slot, cache-line multiple
+  uint64_t graph_shard_starts_[kMaxAttributedGraphShards + 1] = {};
+  std::unique_ptr<uint64_t[]> shard_io_;
   Shard shards_[Scheduler::kMaxShards];
 };
 
